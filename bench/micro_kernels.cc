@@ -1,0 +1,124 @@
+/**
+ * @file
+ * google-benchmark micro-kernels for the hot paths of the simulator:
+ * crossbar bit-serial MVM, zero-skip EIC computation, fragment
+ * polarization projection, and the ADC transfer function.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "arch/engine.hh"
+#include "sim/activation_model.hh"
+
+using namespace forms;
+
+namespace {
+
+arch::MappedLayer *
+sharedLayer(int frag)
+{
+    static Tensor weight({16, 16, 3, 3});
+    static Tensor grad({16, 16, 3, 3});
+    static std::map<int, arch::MappedLayer> cache;
+    auto it = cache.find(frag);
+    if (it != cache.end())
+        return &it->second;
+
+    Rng rng(1);
+    weight.fillGaussian(rng, 0.0f, 0.4f);
+    static std::vector<std::unique_ptr<admm::LayerState>> states;
+    auto st = std::make_unique<admm::LayerState>();
+    st->name = "bench";
+    st->param = {"w", &weight, &grad, true, false};
+    st->plan = admm::FragmentPlan::forConv(
+        16, 16, 3, frag, admm::PolarizationPolicy::CMajor);
+    admm::WeightView v = admm::WeightView::conv(weight);
+    st->signs = admm::computeSigns(v, st->plan);
+    admm::projectPolarization(v, st->plan, *st->signs);
+    admm::QuantSpec q;
+    q.bits = 8;
+    st->quantScale = admm::projectQuantize(v, q);
+
+    arch::MappingConfig mcfg;
+    mcfg.xbarRows = 128;
+    mcfg.xbarCols = 128;
+    mcfg.fragSize = frag;
+    mcfg.inputBits = 16;
+    cache[frag] = arch::mapLayer(*st, mcfg);
+    states.push_back(std::move(st));
+    return &cache[frag];
+}
+
+void
+BM_CrossbarMvm(benchmark::State &state)
+{
+    const int frag = static_cast<int>(state.range(0));
+    arch::MappedLayer *layer = sharedLayer(frag);
+    arch::EngineConfig cfg;
+    arch::CrossbarEngine engine(*layer, cfg);
+    sim::ActivationModel act = sim::ActivationModel::calibratedResNet50();
+    Rng rng(2);
+    auto inputs = act.sampleVector(rng, 16 * 9);
+    for (auto _ : state) {
+        auto out = engine.mvm(inputs);
+        benchmark::DoNotOptimize(out);
+    }
+}
+
+void
+BM_FragmentEic(benchmark::State &state)
+{
+    Rng rng(3);
+    std::vector<uint32_t> vals(4096);
+    for (auto &v : vals)
+        v = static_cast<uint32_t>(rng.below(1u << 16));
+    const int frag = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        arch::EicStats stats(16);
+        stats.recordVector(vals, frag);
+        benchmark::DoNotOptimize(stats.averageEic());
+    }
+}
+
+void
+BM_PolarizationProjection(benchmark::State &state)
+{
+    Tensor w({64, 64, 3, 3});
+    Rng rng(4);
+    w.fillGaussian(rng, 0.0f, 1.0f);
+    admm::FragmentPlan plan = admm::FragmentPlan::forConv(
+        64, 64, 3, 8, admm::PolarizationPolicy::CMajor);
+    for (auto _ : state) {
+        admm::WeightView v = admm::WeightView::conv(w);
+        auto signs = admm::computeSigns(v, plan);
+        admm::projectPolarization(v, plan, signs);
+        benchmark::DoNotOptimize(signs.countPositive());
+    }
+}
+
+void
+BM_AdcTransfer(benchmark::State &state)
+{
+    reram::AdcModel adc({4, 2.1});
+    double x = 0.0;
+    for (auto _ : state) {
+        x += 0.37;
+        if (x > 24.0)
+            x = 0.0;
+        benchmark::DoNotOptimize(adc.quantize(x, 24.0));
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_CrossbarMvm)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FragmentEic)->Arg(4)->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PolarizationProjection)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AdcTransfer);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Regenerates paper Table V: effective peak throughput per area and
+ * per watt, normalized to ISAAC. Computed rows come from the analytic
+ * performance model evaluated over the paper's five large workloads
+ * (geometric mean); the DaDianNao/TPU/WAX/SIMBA rows are the published
+ * reference points the paper itself carried over. Raw-physics values
+ * are printed next to the calibrated ones.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/table.hh"
+#include "sim/perf_model.hh"
+
+using namespace forms;
+using namespace forms::sim;
+
+namespace {
+
+struct Row
+{
+    ArchModel arch;
+    double paperMm2;
+    double paperW;
+};
+
+struct Norm
+{
+    double mm2, w, mm2Raw, wRaw;
+};
+
+Norm
+meanOverCases(const PerfModel &model, const ArchModel &arch,
+              const std::vector<EvalCase> &cases, const Norm *base)
+{
+    double mm2 = 1.0, w = 1.0, mm2r = 1.0, wr = 1.0;
+    for (const auto &c : cases) {
+        const PerfResult r =
+            model.evaluate(arch, c.workload, &c.profile);
+        mm2 *= r.gopsPerMm2;
+        w *= r.gopsPerW;
+        const double raw_scale =
+            arch.calibration > 0.0 ? 1.0 / arch.calibration : 1.0;
+        mm2r *= r.gopsPerMm2 * raw_scale;
+        wr *= r.gopsPerW * raw_scale;
+    }
+    const double inv = 1.0 / static_cast<double>(cases.size());
+    Norm n{std::pow(mm2, inv), std::pow(w, inv),
+           std::pow(mm2r, inv), std::pow(wr, inv)};
+    if (base) {
+        n.mm2 /= base->mm2;
+        n.w /= base->w;
+        n.mm2Raw /= base->mm2;
+        n.wRaw /= base->w;
+    }
+    return n;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Table V: peak nominal throughput per area / power, "
+                "normalized to ISAAC\n");
+
+    PerfModel model;
+    const auto cases = figure14Cases();
+
+    const Norm base =
+        meanOverCases(model, ArchModel::isaac16(), cases, nullptr);
+
+    const std::vector<Row> rows = {
+        {ArchModel::isaac16(), 1.0, 1.0},
+        {ArchModel::formsPolarizationOnly(8), 0.54, 0.61},
+        {ArchModel::formsPolarizationOnly(16), 0.77, 0.84},
+        {ArchModel::isaacPrunedQuantized(), 26.4, 26.61},
+        {ArchModel::pumaPrunedQuantized(), 18.67, 21.07},
+        {ArchModel::formsFull(8, true), 36.02, 27.73},
+        {ArchModel::formsFull(16, true), 39.48, 51.26},
+    };
+
+    Table t({"Architecture", "GOPs/s/mm^2 (model)", "(raw)",
+             "(paper)", "GOPs/W (model)", "(raw)", "(paper)"});
+    for (const auto &row : rows) {
+        const Norm n = meanOverCases(model, row.arch, cases, &base);
+        t.row()
+            .cell(row.arch.name)
+            .cell(n.mm2, 2)
+            .cell(n.mm2Raw, 2)
+            .cell(row.paperMm2, 2)
+            .cell(n.w, 2)
+            .cell(n.wRaw, 2)
+            .cell(row.paperW, 2);
+    }
+    t.print("In-situ designs (computed bottom-up; geometric mean over "
+            "the five large workloads)");
+
+    Table r({"Architecture", "GOPs/s/mm^2 (paper)", "GOPs/W (paper)"});
+    for (const auto &ref : tableVReferencePoints())
+        r.row().cell(ref.name).cell(ref.gopsPerMm2Norm, 2)
+            .cell(ref.gopsPerWNorm, 2);
+    r.print("Published digital reference points (carried over, "
+            "not re-derived)");
+
+    std::printf(
+        "\nShape checks: FORMS-full-16 tops the in-situ designs; "
+        "PQ-ISAAC > PQ-PUMA (splitting doubles crossbars); "
+        "polarization-only FORMS lands below plain ISAAC exactly as the "
+        "paper reports (0.5-0.8x) because fine-grained conversion costs "
+        "ADC bandwidth until compression and zero-skip pay it back.\n");
+    return 0;
+}

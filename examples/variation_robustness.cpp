@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Scenario: a reliability engineer checks how a compressed model
+ * tolerates ReRAM device variation before deployment — sweeping the
+ * log-normal sigma and comparing the original network against its
+ * polarized and pruned versions (the paper's §V-E question).
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "sim/experiments.hh"
+
+using namespace forms;
+using namespace forms::sim;
+
+int
+main()
+{
+    nn::DatasetConfig dcfg = nn::DatasetConfig::cifar10Like(23);
+    dcfg.trainPerClass = 16;
+    dcfg.testPerClass = 6;
+
+    std::printf("sweeping device variation on ResNet18 (scaled), "
+                "CIFAR-10-like task\n");
+
+    Table t({"Sigma", "Original (pp)", "Polarization only (pp)",
+             "Pruning only (pp)", "Full optimization (pp)"});
+    for (double sigma : {0.05, 0.1, 0.2}) {
+        VariationStudyConfig vcfg;
+        vcfg.sigma = sigma;
+        vcfg.runs = 15;
+        auto rows = runVariationExperiment(
+            NetKind::ResNetSmall, dcfg, vcfg, 0.6, 0.6,
+            /*pretrain_epochs=*/6, /*seed=*/88);
+        t.row().cell(sigma, 2)
+            .cell(rows[0].degradationPct, 2)
+            .cell(rows[1].degradationPct, 2)
+            .cell(rows[2].degradationPct, 2)
+            .cell(rows[3].degradationPct, 2);
+    }
+    t.print("Accuracy degradation vs device variation");
+
+    std::printf("\nReading: polarization is variation-neutral (signs "
+                "are digital); pruning trades robustness for area "
+                "because every surviving weight matters more. Matches "
+                "the paper's Table VI conclusion.\n");
+    return 0;
+}

@@ -1,0 +1,197 @@
+#include "admm/fragment.hh"
+
+#include <algorithm>
+
+namespace forms::admm {
+
+std::string
+policyName(PolarizationPolicy p)
+{
+    switch (p) {
+      case PolarizationPolicy::WMajor: return "W-major";
+      case PolarizationPolicy::HMajor: return "H-major";
+      case PolarizationPolicy::CMajor: return "C-major";
+    }
+    return "?";
+}
+
+WeightView
+WeightView::conv(Tensor &w)
+{
+    FORMS_ASSERT(w.rank() == 4, "conv view expects rank-4 weight");
+    WeightView v;
+    v.w_ = &w;
+    v.conv_ = true;
+    v.cols_ = w.dim(0);
+    v.cin_ = w.dim(1);
+    v.k_ = w.dim(2);
+    FORMS_ASSERT(w.dim(2) == w.dim(3), "square kernels only");
+    v.rows_ = v.cin_ * v.k_ * v.k_;
+    return v;
+}
+
+WeightView
+WeightView::dense(Tensor &w)
+{
+    FORMS_ASSERT(w.rank() == 2, "dense view expects rank-2 weight");
+    WeightView v;
+    v.w_ = &w;
+    v.conv_ = false;
+    v.cols_ = w.dim(0);   // output neurons = filters = crossbar columns
+    v.rows_ = w.dim(1);
+    return v;
+}
+
+float
+WeightView::get(int64_t r, int64_t j) const
+{
+    FORMS_ASSERT(r >= 0 && r < rows_ && j >= 0 && j < cols_,
+                 "weight view index out of range");
+    if (conv_)
+        return w_->data()[j * rows_ + r];   // (Cout, Cin*K*K) contiguous
+    return w_->data()[j * rows_ + r];       // (out, in) contiguous
+}
+
+void
+WeightView::set(int64_t r, int64_t j, float v)
+{
+    FORMS_ASSERT(r >= 0 && r < rows_ && j >= 0 && j < cols_,
+                 "weight view index out of range");
+    w_->data()[j * rows_ + r] = v;
+}
+
+FragmentPlan
+FragmentPlan::forConv(int64_t cout, int64_t cin, int64_t k, int frag_size,
+                      PolarizationPolicy policy)
+{
+    FORMS_ASSERT(frag_size >= 1, "fragment size must be positive");
+    FragmentPlan plan;
+    plan.rows_ = cin * k * k;
+    plan.cols_ = cout;
+    plan.fragSize_ = frag_size;
+    plan.policy_ = policy;
+    plan.order_.reserve(static_cast<size_t>(plan.rows_));
+
+    // The natural row index of weight (c, h, w) is c*k*k + h*k + w.
+    switch (policy) {
+      case PolarizationPolicy::WMajor:
+        // (c, h, w) with w fastest — identical to the natural order.
+        for (int64_t r = 0; r < plan.rows_; ++r)
+            plan.order_.push_back(r);
+        break;
+      case PolarizationPolicy::HMajor:
+        for (int64_t c = 0; c < cin; ++c)
+            for (int64_t w = 0; w < k; ++w)
+                for (int64_t h = 0; h < k; ++h)
+                    plan.order_.push_back(c * k * k + h * k + w);
+        break;
+      case PolarizationPolicy::CMajor:
+        for (int64_t h = 0; h < k; ++h)
+            for (int64_t w = 0; w < k; ++w)
+                for (int64_t c = 0; c < cin; ++c)
+                    plan.order_.push_back(c * k * k + h * k + w);
+        break;
+    }
+    return plan;
+}
+
+FragmentPlan
+FragmentPlan::forDense(int64_t out, int64_t in, int frag_size)
+{
+    FORMS_ASSERT(frag_size >= 1, "fragment size must be positive");
+    FragmentPlan plan;
+    plan.rows_ = in;
+    plan.cols_ = out;
+    plan.fragSize_ = frag_size;
+    plan.policy_ = PolarizationPolicy::WMajor;
+    plan.order_.reserve(static_cast<size_t>(in));
+    for (int64_t r = 0; r < in; ++r)
+        plan.order_.push_back(r);
+    return plan;
+}
+
+int64_t
+FragmentPlan::fragmentsPerCol() const
+{
+    return (rows_ + fragSize_ - 1) / fragSize_;
+}
+
+int64_t
+FragmentPlan::orderedRow(int64_t p) const
+{
+    FORMS_ASSERT(p >= 0 && p < rows_, "ordering position out of range");
+    return order_[static_cast<size_t>(p)];
+}
+
+int64_t
+FragmentPlan::fragmentRows(int64_t f) const
+{
+    FORMS_ASSERT(f >= 0 && f < fragmentsPerCol(), "fragment out of range");
+    const int64_t begin = f * fragSize_;
+    return std::min<int64_t>(fragSize_, rows_ - begin);
+}
+
+std::vector<int64_t>
+FragmentPlan::fragmentRowIndices(int64_t f) const
+{
+    const int64_t begin = f * fragSize_;
+    const int64_t n = fragmentRows(f);
+    std::vector<int64_t> out;
+    out.reserve(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i)
+        out.push_back(orderedRow(begin + i));
+    return out;
+}
+
+FragmentPlan
+FragmentPlan::restrictedToRows(const std::vector<uint8_t> &row_kept) const
+{
+    FORMS_ASSERT(static_cast<int64_t>(row_kept.size()) >=
+                 *std::max_element(order_.begin(), order_.end()) + 1,
+                 "row mask too short for plan");
+    FragmentPlan plan;
+    plan.cols_ = cols_;
+    plan.fragSize_ = fragSize_;
+    plan.policy_ = policy_;
+    for (int64_t r : order_)
+        if (row_kept[static_cast<size_t>(r)])
+            plan.order_.push_back(r);
+    plan.rows_ = static_cast<int64_t>(plan.order_.size());
+    FORMS_ASSERT(plan.rows_ > 0, "all rows pruned away");
+    return plan;
+}
+
+SignMap::SignMap(int64_t cols, int64_t frags_per_col)
+    : cols_(cols), fragsPerCol_(frags_per_col),
+      signs_(static_cast<size_t>(cols * frags_per_col), 1)
+{
+}
+
+int8_t
+SignMap::get(int64_t col, int64_t frag) const
+{
+    FORMS_ASSERT(col >= 0 && col < cols_ && frag >= 0 &&
+                 frag < fragsPerCol_, "sign map index out of range");
+    return signs_[static_cast<size_t>(col * fragsPerCol_ + frag)];
+}
+
+void
+SignMap::set(int64_t col, int64_t frag, int8_t sign)
+{
+    FORMS_ASSERT(sign == 1 || sign == -1, "sign must be +1/-1");
+    FORMS_ASSERT(col >= 0 && col < cols_ && frag >= 0 &&
+                 frag < fragsPerCol_, "sign map index out of range");
+    signs_[static_cast<size_t>(col * fragsPerCol_ + frag)] = sign;
+}
+
+int64_t
+SignMap::countPositive() const
+{
+    int64_t n = 0;
+    for (int8_t s : signs_)
+        if (s > 0)
+            ++n;
+    return n;
+}
+
+} // namespace forms::admm

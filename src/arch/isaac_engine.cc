@@ -1,0 +1,138 @@
+#include "arch/isaac_engine.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "reram/device.hh"
+
+namespace forms::arch {
+
+IsaacEngine::IsaacEngine(
+    const std::vector<std::vector<int32_t>> &weights, IsaacConfig cfg)
+    : cfg_(cfg),
+      rows_(static_cast<int>(weights.size())),
+      cols_(rows_ ? static_cast<int>(weights.front().size()) : 0),
+      signedWeights_(weights),
+      array_(std::max(1, rows_),
+             std::max(1, cols_ * cfg.cellsPerWeight()),
+             reram::CellConfig{}),
+      adc_({cfg.adcBits, cfg.adcFreqGhz})
+{
+    FORMS_ASSERT(rows_ > 0 && cols_ > 0, "empty ISAAC weight matrix");
+    FORMS_ASSERT(rows_ <= cfg.xbarRows &&
+                 cols_ * cfg.cellsPerWeight() <= cfg.xbarCols,
+                 "matrix exceeds one crossbar (%d x %d cells)",
+                 cfg.xbarRows, cfg.xbarCols);
+
+    const int64_t offset = cfg_.offset();
+    const int64_t biased_max = (int64_t{1} << cfg_.weightBits) - 1;
+    const int cells = cfg_.cellsPerWeight();
+    for (int r = 0; r < rows_; ++r) {
+        FORMS_ASSERT(static_cast<int>(weights[static_cast<size_t>(r)]
+                                          .size()) == cols_,
+                     "ragged weight matrix");
+        for (int c = 0; c < cols_; ++c) {
+            const int64_t biased =
+                weights[static_cast<size_t>(r)][static_cast<size_t>(c)] +
+                offset;
+            FORMS_ASSERT(biased >= 0 && biased <= biased_max,
+                         "weight %d out of %d-bit signed range",
+                         weights[static_cast<size_t>(r)]
+                                [static_cast<size_t>(c)],
+                         cfg_.weightBits);
+            const auto levels = reram::sliceMagnitude(
+                static_cast<uint32_t>(biased), cfg_.weightBits,
+                cfg_.cellBits);
+            for (int s = 0; s < cells; ++s)
+                array_.programCell(r, c * cells + s,
+                                   levels[static_cast<size_t>(s)]);
+        }
+    }
+}
+
+std::vector<int64_t>
+IsaacEngine::mvm(const std::vector<uint32_t> &inputs,
+                 IsaacStats *stats) const
+{
+    FORMS_ASSERT(static_cast<int>(inputs.size()) >= rows_,
+                 "input vector too short");
+    const int cells = cfg_.cellsPerWeight();
+    const int cell_cols = cols_ * cells;
+    std::vector<double> acc(static_cast<size_t>(cell_cols), 0.0);
+    const int64_t offset = cfg_.offset();
+
+    IsaacStats local;
+    std::vector<uint8_t> row_bits(static_cast<size_t>(rows_), 0);
+    std::vector<double> bias_acc(1, 0.0);
+    double bias_total = 0.0;
+
+    // Coarse-grained: all rows active each bit cycle (ISAAC style);
+    // no zero-skipping — the baseline always feeds all input bits.
+    for (int p = cfg_.inputBits - 1; p >= 0; --p) {
+        int64_t popcount = 0;
+        for (int r = 0; r < rows_; ++r) {
+            const uint8_t bit = static_cast<uint8_t>(
+                (inputs[static_cast<size_t>(r)] >> p) & 1u);
+            row_bits[static_cast<size_t>(r)] = bit;
+            popcount += bit;
+        }
+        ++local.bitCycles;
+        // The offset fixup: every active input contributes an extra
+        // `offset` to every weight column; subtract popcount * offset
+        // at this bit significance (ISAAC's count-the-1s circuit).
+        bias_total += static_cast<double>(popcount) *
+            std::pow(2.0, p);
+        local.biasSubtractions += static_cast<uint64_t>(cols_);
+
+        for (int cc = 0; cc < cell_cols; ++cc) {
+            // Ideal conversion: the 8-bit ADC resolves the worst-case
+            // 128-row sum exactly in this integer model.
+            const int64_t analog =
+                array_.idealColumnSum(cc, row_bits, 0, rows_);
+            acc[static_cast<size_t>(cc)] +=
+                static_cast<double>(analog) * std::pow(2.0, p);
+            ++local.adcSamples;
+            local.adcEnergyPj += adc_.energyPerSamplePj();
+        }
+    }
+
+    std::vector<int64_t> out(static_cast<size_t>(cols_), 0);
+    for (int c = 0; c < cols_; ++c) {
+        double biased = 0.0;
+        for (int s = 0; s < cells; ++s) {
+            biased += acc[static_cast<size_t>(c * cells + s)] *
+                std::pow(2.0, s * cfg_.cellBits);
+        }
+        const double fixed =
+            biased - bias_total * static_cast<double>(offset);
+        out[static_cast<size_t>(c)] =
+            static_cast<int64_t>(std::llround(fixed));
+    }
+
+    if (stats) {
+        stats->bitCycles += local.bitCycles;
+        stats->adcSamples += local.adcSamples;
+        stats->biasSubtractions += local.biasSubtractions;
+        stats->adcEnergyPj += local.adcEnergyPj;
+    }
+    return out;
+}
+
+std::vector<int64_t>
+IsaacEngine::reference(const std::vector<uint32_t> &inputs) const
+{
+    std::vector<int64_t> out(static_cast<size_t>(cols_), 0);
+    for (int c = 0; c < cols_; ++c) {
+        int64_t acc = 0;
+        for (int r = 0; r < rows_; ++r) {
+            acc += static_cast<int64_t>(
+                       signedWeights_[static_cast<size_t>(r)]
+                                     [static_cast<size_t>(c)]) *
+                static_cast<int64_t>(inputs[static_cast<size_t>(r)]);
+        }
+        out[static_cast<size_t>(c)] = acc;
+    }
+    return out;
+}
+
+} // namespace forms::arch

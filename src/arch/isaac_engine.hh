@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Functional model of ISAAC's offset (biased-weight) compute path —
+ * the baseline FORMS argues against (paper §II-B).
+ *
+ * ISAAC stores w' = w + 2^(b-1) so every cell is nonnegative, and
+ * fixes the result digitally: for every input bit cycle it counts the
+ * 1-bits across the active rows and subtracts popcount * 2^(b-1)
+ * (shifted by the input bit significance) from each column's
+ * accumulator. This module implements that path on the same crossbar
+ * substrate (coarse-grained: all rows active at once) so the two sign
+ * schemes can be compared functionally and in conversion counts.
+ */
+
+#ifndef FORMS_ARCH_ISAAC_ENGINE_HH
+#define FORMS_ARCH_ISAAC_ENGINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "reram/adc.hh"
+#include "reram/crossbar.hh"
+#include "tensor/tensor.hh"
+
+namespace forms::arch {
+
+/** Configuration of the offset-encoded crossbar computation. */
+struct IsaacConfig
+{
+    int xbarRows = 128;
+    int xbarCols = 128;     //!< cell columns
+    int weightBits = 8;     //!< signed weight precision (two's range)
+    int cellBits = 2;
+    int inputBits = 16;
+    int adcBits = 8;        //!< ISAAC's shared 8-bit ADC
+    double adcFreqGhz = 1.2;
+
+    int cellsPerWeight() const
+    {
+        return (weightBits + cellBits - 1) / cellBits;
+    }
+
+    /** The additive offset 2^(b-1) making all weights nonnegative. */
+    int64_t offset() const { return int64_t{1} << (weightBits - 1); }
+};
+
+/** Execution statistics (comparable with EngineStats). */
+struct IsaacStats
+{
+    uint64_t bitCycles = 0;
+    uint64_t adcSamples = 0;
+    uint64_t biasSubtractions = 0;   //!< offset-fixup operations
+    double adcEnergyPj = 0.0;
+};
+
+/**
+ * Offset-encoded crossbar engine for one weight matrix.
+ *
+ * Weights are signed integers in [-2^(b-1), 2^(b-1)-1]; the engine
+ * stores w + offset in bit-sliced cells and reconstructs the signed
+ * dot product digitally via the popcount fixup.
+ */
+class IsaacEngine
+{
+  public:
+    /**
+     * @param weights signed quantized weights, rank-2 (rows x cols)
+     *        in integer units (values must fit weightBits)
+     * @param cfg geometry and precision
+     */
+    IsaacEngine(const std::vector<std::vector<int32_t>> &weights,
+                IsaacConfig cfg);
+
+    /**
+     * Signed matrix-vector product: inputs are unsigned quantized
+     * activations; result is exact in integer units.
+     */
+    std::vector<int64_t> mvm(const std::vector<uint32_t> &inputs,
+                             IsaacStats *stats = nullptr) const;
+
+    /** Direct signed reference for verification. */
+    std::vector<int64_t>
+    reference(const std::vector<uint32_t> &inputs) const;
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+
+  private:
+    IsaacConfig cfg_;
+    int rows_, cols_;
+    std::vector<std::vector<int32_t>> signedWeights_;
+    reram::CrossbarArray array_;
+    reram::AdcModel adc_;
+};
+
+} // namespace forms::arch
+
+#endif // FORMS_ARCH_ISAAC_ENGINE_HH

@@ -1,0 +1,91 @@
+#include "arch/tile.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace forms::arch {
+
+ChipOrg
+formsChipOrg()
+{
+    ChipOrg org;
+    org.edramKb = 128.0;
+    org.busBits = 512.0;
+    org.pipeline.cycleNs = 15.2;   // four 4-bit ADCs over 32 cols each
+    return org;
+}
+
+ChipOrg
+isaacChipOrg()
+{
+    ChipOrg org;
+    org.edramKb = 64.0;
+    org.busBits = 256.0;
+    org.pipeline.cycleNs = 106.6;  // one 8-bit ADC over 128 cols
+    return org;
+}
+
+ChipAllocation
+allocateChip(const ChipOrg &org, const std::vector<LayerDemand> &demands)
+{
+    FORMS_ASSERT(!demands.empty(), "no layers to allocate");
+    ChipAllocation alloc;
+
+    // Base assignment: one copy of each layer.
+    double total_work = 0.0;
+    for (const auto &d : demands) {
+        FORMS_ASSERT(d.crossbars > 0, "layer '%s' has no crossbars",
+                     d.name.c_str());
+        total_work += static_cast<double>(d.crossbars) *
+            static_cast<double>(d.presentations) *
+            std::max(1.0, d.initiationCycles);
+    }
+
+    const int64_t budget = org.totalCrossbars();
+    int64_t base_crossbars = 0;
+    for (const auto &d : demands)
+        base_crossbars += d.crossbars;
+
+    for (const auto &d : demands) {
+        LayerAllocation la;
+        la.name = d.name;
+        la.crossbars = d.crossbars;
+        la.mcus = (d.crossbars + org.crossbarsPerMcu - 1) /
+            org.crossbarsPerMcu;
+        la.presentations = d.presentations;
+        la.initiationCycles = std::max(1.0, d.initiationCycles);
+
+        // Replicate proportionally to this layer's share of the work,
+        // within the remaining budget (floor; at least one copy).
+        const double work = static_cast<double>(d.crossbars) *
+            static_cast<double>(d.presentations) * la.initiationCycles;
+        const double share = work / total_work;
+        const int64_t ideal = static_cast<int64_t>(
+            share * static_cast<double>(budget) /
+            static_cast<double>(d.crossbars));
+        la.replicas = std::max<int64_t>(1, ideal);
+
+        const PipelineTiming t = layerPipelineTiming(
+            org.pipeline, static_cast<uint64_t>(
+                (d.presentations + la.replicas - 1) / la.replicas),
+            la.initiationCycles, d.pools);
+        la.latencyNs = t.totalNs;
+        la.bufferKb = static_cast<double>(d.outputActivations) * 2.0 /
+            1024.0;   // 16-bit activations
+        alloc.layers.push_back(la);
+
+        alloc.crossbarsUsed += la.crossbars * la.replicas;
+        alloc.mcusUsed += la.mcus * la.replicas;
+        alloc.edramTrafficKb += la.bufferKb;
+        alloc.frameLatencyNs =
+            std::max(alloc.frameLatencyNs, la.latencyNs);
+    }
+    alloc.tilesUsed = (alloc.mcusUsed + org.mcusPerTile - 1) /
+        org.mcusPerTile;
+    alloc.fits = alloc.crossbarsUsed <= budget;
+    if (alloc.frameLatencyNs > 0.0)
+        alloc.framesPerSecond = 1e9 / alloc.frameLatencyNs;
+    return alloc;
+}
+
+} // namespace forms::arch

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tile / chip composition (paper §IV-C, Figure 10): mapped layers are
+ * allocated to MCUs (8 crossbars each), MCUs to tiles (12 per tile,
+ * plus the digital unit and eDRAM), tiles to the chip (168 tiles,
+ * mesh + HyperTransport). The allocator also models the eDRAM
+ * capacity/bandwidth constraints the paper raises (FORMS needs 128 KB
+ * and a 512-bit bus vs ISAAC's 64 KB / 256-bit) and produces a
+ * per-frame latency/energy roll-up through the pipeline model.
+ */
+
+#ifndef FORMS_ARCH_TILE_HH
+#define FORMS_ARCH_TILE_HH
+
+#include "arch/mapping.hh"
+#include "arch/pipeline.hh"
+#include "reram/components.hh"
+
+namespace forms::arch {
+
+/** Chip organization for allocation. */
+struct ChipOrg
+{
+    int crossbarsPerMcu = 8;
+    int mcusPerTile = 12;
+    int tiles = 168;
+    double edramKb = 128.0;      //!< per tile (FORMS: 128, ISAAC: 64)
+    double busBits = 512.0;      //!< tile bus width (FORMS: 512)
+    double edramEnergyPjPerByte = 1.1;
+    PipelineConfig pipeline;
+
+    /** Total crossbars on the chip. */
+    int64_t totalCrossbars() const
+    {
+        return static_cast<int64_t>(crossbarsPerMcu) * mcusPerTile *
+            tiles;
+    }
+};
+
+/** Allocation of one layer onto the chip. */
+struct LayerAllocation
+{
+    std::string name;
+    int64_t crossbars = 0;     //!< crossbars of one copy
+    int64_t mcus = 0;          //!< MCUs of one copy (ceil / 8)
+    int64_t replicas = 1;      //!< copies for pipeline balance
+    int64_t presentations = 0;
+    double initiationCycles = 0.0;  //!< bit cycles per presentation
+    double latencyNs = 0.0;    //!< per-frame latency of this layer
+    double bufferKb = 0.0;     //!< output buffer demand per tile
+};
+
+/** Whole-network allocation result. */
+struct ChipAllocation
+{
+    std::vector<LayerAllocation> layers;
+    int64_t crossbarsUsed = 0;
+    int64_t mcusUsed = 0;
+    int64_t tilesUsed = 0;
+    bool fits = false;          //!< within the chip's crossbar budget
+    double frameLatencyNs = 0.0;//!< pipelined frame latency (max stage)
+    double framesPerSecond = 0.0;
+    double edramTrafficKb = 0.0;//!< activation traffic per frame
+};
+
+/** Demand description of one layer (from the mapper + workload). */
+struct LayerDemand
+{
+    std::string name;
+    int64_t crossbars = 0;       //!< mapLayer(...).numCrossbars()
+    int64_t presentations = 0;   //!< sliding windows per frame
+    int64_t outputActivations = 0;
+    double initiationCycles = 0.0;  //!< rowGroups * effBits
+    bool pools = false;
+};
+
+/**
+ * Allocate a network onto the chip: assign each layer its crossbars,
+ * then distribute the remaining budget as replicas proportionally to
+ * each layer's work (balanced pipeline), and roll up latency, FPS and
+ * eDRAM traffic.
+ */
+ChipAllocation allocateChip(const ChipOrg &org,
+                            const std::vector<LayerDemand> &demands);
+
+/** FORMS default organization (Table IV). */
+ChipOrg formsChipOrg();
+
+/** ISAAC organization (64 KB eDRAM, 256-bit bus, coarse pipeline). */
+ChipOrg isaacChipOrg();
+
+} // namespace forms::arch
+
+#endif // FORMS_ARCH_TILE_HH

@@ -1,0 +1,82 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace forms {
+
+namespace {
+
+std::string
+vstrfmt(const char *fmt, va_list ap)
+{
+    va_list ap_copy;
+    va_copy(ap_copy, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap_copy);
+    va_end(ap_copy);
+    if (n < 0)
+        return std::string(fmt);
+    std::vector<char> buf(static_cast<size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+    return std::string(buf.data(), static_cast<size_t>(n));
+}
+
+void
+emit(const char *tag, const char *fmt, va_list ap)
+{
+    std::string msg = vstrfmt(fmt, ap);
+    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+}
+
+} // namespace
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    emit("fatal", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    emit("panic", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    emit("warn", fmt, ap);
+    va_end(ap);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    emit("info", fmt, ap);
+    va_end(ap);
+}
+
+std::string
+strfmt(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string s = vstrfmt(fmt, ap);
+    va_end(ap);
+    return s;
+}
+
+} // namespace forms

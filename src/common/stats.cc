@@ -1,0 +1,124 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace forms {
+
+void
+RunningStat::add(double x)
+{
+    ++n_;
+    if (n_ == 1) {
+        mean_ = x;
+        m2_ = 0.0;
+        min_ = x;
+        max_ = x;
+        return;
+    }
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double nt = na + nb;
+    mean_ += delta * nb / nt;
+    m2_ += other.m2_ + delta * delta * na * nb / nt;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+RunningStat::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(int nbins)
+{
+    FORMS_ASSERT(nbins > 0, "histogram needs at least one bin");
+    bins_.assign(static_cast<size_t>(nbins), 0);
+}
+
+void
+Histogram::add(int value)
+{
+    add(value, 1);
+}
+
+void
+Histogram::add(int value, uint64_t weight)
+{
+    int b = std::clamp(value, 0, numBins() - 1);
+    bins_[static_cast<size_t>(b)] += weight;
+    total_ += weight;
+}
+
+uint64_t
+Histogram::bin(int b) const
+{
+    FORMS_ASSERT(b >= 0 && b < numBins(), "bin out of range");
+    return bins_[static_cast<size_t>(b)];
+}
+
+double
+Histogram::fraction(int b) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(bin(b)) / static_cast<double>(total_);
+}
+
+double
+Histogram::mean() const
+{
+    if (total_ == 0)
+        return 0.0;
+    double acc = 0.0;
+    for (int b = 0; b < numBins(); ++b)
+        acc += static_cast<double>(b) * static_cast<double>(bins_[b]);
+    return acc / static_cast<double>(total_);
+}
+
+int
+Histogram::percentile(double q) const
+{
+    FORMS_ASSERT(q > 0.0 && q <= 1.0, "percentile fraction out of range");
+    if (total_ == 0)
+        return 0;
+    const double target = q * static_cast<double>(total_);
+    double acc = 0.0;
+    for (int b = 0; b < numBins(); ++b) {
+        acc += static_cast<double>(bins_[b]);
+        if (acc >= target)
+            return b;
+    }
+    return numBins() - 1;
+}
+
+} // namespace forms

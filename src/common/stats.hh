@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Lightweight statistics collectors used throughout the simulator:
+ * running scalar statistics (mean/variance/min/max) and integer
+ * histograms (used e.g. for the effective-input-cycle distributions
+ * of Figure 8).
+ */
+
+#ifndef FORMS_COMMON_STATS_HH
+#define FORMS_COMMON_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace forms {
+
+/** Online mean / variance / min / max accumulator (Welford). */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStat &other);
+
+    /** Number of samples seen. */
+    uint64_t count() const { return n_; }
+
+    /** Sample mean (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance (0 with fewer than two samples). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Minimum sample (0 when empty). */
+    double min() const { return n_ ? min_ : 0.0; }
+
+    /** Maximum sample (0 when empty). */
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** Sum of all samples. */
+    double sum() const { return mean_ * static_cast<double>(n_); }
+
+  private:
+    uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Fixed-range integer histogram over bins [0, nbins). Out-of-range
+ * samples are clamped into the edge bins so no sample is lost.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(int nbins);
+
+    /** Record one integer sample. */
+    void add(int value);
+
+    /** Record `weight` occurrences of `value`. */
+    void add(int value, uint64_t weight);
+
+    /** Count in one bin. */
+    uint64_t bin(int b) const;
+
+    /** Number of bins. */
+    int numBins() const { return static_cast<int>(bins_.size()); }
+
+    /** Total samples recorded. */
+    uint64_t total() const { return total_; }
+
+    /** Fraction of samples in bin b (0 when empty). */
+    double fraction(int b) const;
+
+    /** Mean of recorded values. */
+    double mean() const;
+
+    /**
+     * Smallest value v such that at least `q` fraction of the samples
+     * are <= v. q must be in (0, 1].
+     */
+    int percentile(double q) const;
+
+  private:
+    std::vector<uint64_t> bins_;
+    uint64_t total_ = 0;
+};
+
+} // namespace forms
+
+#endif // FORMS_COMMON_STATS_HH

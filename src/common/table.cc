@@ -1,0 +1,113 @@
+#include "common/table.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace forms {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    FORMS_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    flushCurrent();
+    FORMS_ASSERT(cells.size() == headers_.size(),
+                 "row width %zu != header width %zu",
+                 cells.size(), headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+Table &
+Table::row()
+{
+    flushCurrent();
+    building_ = true;
+    current_.clear();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &s)
+{
+    FORMS_ASSERT(building_, "cell() outside of row()");
+    current_.push_back(s);
+    return *this;
+}
+
+Table &
+Table::cell(double v, int precision)
+{
+    return cell(strfmt("%.*f", precision, v));
+}
+
+Table &
+Table::cell(int64_t v)
+{
+    return cell(strfmt("%lld", static_cast<long long>(v)));
+}
+
+void
+Table::flushCurrent()
+{
+    if (building_) {
+        building_ = false;
+        std::vector<std::string> done = std::move(current_);
+        current_.clear();
+        addRow(std::move(done));
+    }
+}
+
+std::string
+Table::str() const
+{
+    // A const copy path: flush is only needed when a row is in flight,
+    // which callers finish by calling str()/print() after the last cell.
+    std::vector<std::vector<std::string>> rows = rows_;
+    if (building_)
+        rows.push_back(current_);
+
+    std::vector<size_t> width(headers_.size(), 0);
+    for (size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &r : rows)
+        for (size_t c = 0; c < r.size() && c < width.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &r) {
+        for (size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &s = c < r.size() ? r[c] : std::string();
+            os << "| " << s;
+            os << std::string(width[c] - s.size() + 1, ' ');
+        }
+        os << "|\n";
+    };
+    auto emit_rule = [&]() {
+        for (size_t c = 0; c < headers_.size(); ++c)
+            os << "|" << std::string(width[c] + 2, '-');
+        os << "|\n";
+    };
+
+    emit_row(headers_);
+    emit_rule();
+    for (const auto &r : rows)
+        emit_row(r);
+    return os.str();
+}
+
+void
+Table::print(const std::string &title) const
+{
+    if (!title.empty())
+        std::printf("\n== %s ==\n", title.c_str());
+    std::fputs(str().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+} // namespace forms

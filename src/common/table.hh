@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Console table printer used by the benchmark harnesses to regenerate
+ * the paper's tables and figure series as aligned text output.
+ */
+
+#ifndef FORMS_COMMON_TABLE_HH
+#define FORMS_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace forms {
+
+/** A simple aligned text table with a header row. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a fully formed row (must match the header width). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Begin building a row cell by cell. */
+    Table &row();
+
+    /** Append a string cell to the row under construction. */
+    Table &cell(const std::string &s);
+
+    /** Append a numeric cell with the given decimal precision. */
+    Table &cell(double v, int precision = 2);
+
+    /** Append an integer cell. */
+    Table &cell(int64_t v);
+
+    /** Render the table to a string. */
+    std::string str() const;
+
+    /** Print the table to stdout, optionally preceded by a title. */
+    void print(const std::string &title = "") const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::string> current_;
+    bool building_ = false;
+
+    void flushCurrent();
+};
+
+} // namespace forms
+
+#endif // FORMS_COMMON_TABLE_HH

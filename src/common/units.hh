@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Unit helpers for circuit and architecture models. All area is carried
+ * in mm^2, power in mW, energy in pJ, time in ns, frequency in GHz; the
+ * constexpr helpers below make literals self-documenting at call sites.
+ */
+
+#ifndef FORMS_COMMON_UNITS_HH
+#define FORMS_COMMON_UNITS_HH
+
+namespace forms {
+
+/** Gigahertz to the internal GHz unit (identity; for readability). */
+constexpr double GHz(double v) { return v; }
+
+/** Megahertz expressed in GHz. */
+constexpr double MHz(double v) { return v * 1e-3; }
+
+/** Nanoseconds (identity; internal time unit). */
+constexpr double ns(double v) { return v; }
+
+/** Microseconds expressed in ns. */
+constexpr double us(double v) { return v * 1e3; }
+
+/** Milliwatts (identity; internal power unit). */
+constexpr double mW(double v) { return v; }
+
+/** Watts expressed in mW. */
+constexpr double W(double v) { return v * 1e3; }
+
+/** Square millimetres (identity; internal area unit). */
+constexpr double mm2(double v) { return v; }
+
+/** Cycle time in ns for a clock in GHz. */
+constexpr double cycleNs(double ghz) { return 1.0 / ghz; }
+
+/** Energy in pJ for power in mW over time in ns (mW * ns = pJ). */
+constexpr double energyPj(double mw, double t_ns) { return mw * t_ns; }
+
+} // namespace forms
+
+#endif // FORMS_COMMON_UNITS_HH

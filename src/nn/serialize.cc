@@ -1,0 +1,117 @@
+#include "nn/serialize.hh"
+
+#include <cinttypes>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace forms::nn {
+
+namespace {
+
+constexpr const char *kMagic = "forms-model v1";
+
+} // namespace
+
+void
+saveParameters(Network &net, std::ostream &os)
+{
+    os << kMagic << "\n";
+    for (auto &p : net.params()) {
+        os << "param " << p.name << " " << p.value->numel();
+        for (int64_t d : p.value->shape())
+            os << " " << d;
+        os << "\n";
+        const float *data = p.value->data();
+        for (int64_t i = 0; i < p.value->numel(); ++i) {
+            // Hex floats round-trip exactly.
+            os << strfmt("%a", static_cast<double>(data[i]));
+            os << (i + 1 == p.value->numel() ? '\n' : ' ');
+        }
+    }
+    os << "end\n";
+    FORMS_ASSERT(os.good(), "stream failure while saving model");
+}
+
+void
+saveParameters(Network &net, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '%s' for writing", path.c_str());
+    saveParameters(net, os);
+}
+
+void
+loadParameters(Network &net, std::istream &is)
+{
+    std::string line;
+    if (!std::getline(is, line) || line != kMagic)
+        fatal("bad model header (expected '%s')", kMagic);
+
+    auto params = net.params();
+    size_t next = 0;
+    while (std::getline(is, line)) {
+        if (line == "end")
+            break;
+        std::istringstream hdr(line);
+        std::string tag, name;
+        int64_t numel = 0;
+        hdr >> tag >> name >> numel;
+        if (tag != "param" || !hdr)
+            fatal("bad parameter header: '%s'", line.c_str());
+        if (next >= params.size())
+            fatal("model file has more parameters than the network");
+        ParamRef &p = params[next++];
+        if (p.name != name) {
+            fatal("parameter order mismatch: file has '%s', network "
+                  "expects '%s'", name.c_str(), p.name.c_str());
+        }
+        if (p.value->numel() != numel) {
+            fatal("parameter '%s' size mismatch: file %" PRId64
+                  ", network %" PRId64, name.c_str(), numel,
+                  p.value->numel());
+        }
+        Shape shape;
+        int64_t d;
+        while (hdr >> d)
+            shape.push_back(d);
+        if (!shape.empty() && shape != p.value->shape())
+            fatal("parameter '%s' shape mismatch", name.c_str());
+
+        float *data = p.value->data();
+        std::string tok;
+        for (int64_t i = 0; i < numel; ++i) {
+            // Hex-float tokens are parsed with strtod: istream's
+            // num_get does not reliably accept the %a format.
+            if (!(is >> tok))
+                fatal("truncated values for parameter '%s'",
+                      name.c_str());
+            char *endp = nullptr;
+            const double v = std::strtod(tok.c_str(), &endp);
+            if (endp == tok.c_str())
+                fatal("bad value '%s' in parameter '%s'", tok.c_str(),
+                      name.c_str());
+            data[i] = static_cast<float>(v);
+        }
+        // Consume the trailing newline of the value block.
+        is.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+    }
+    if (next != params.size())
+        fatal("model file has fewer parameters than the network "
+              "(%zu of %zu)", next, params.size());
+}
+
+void
+loadParameters(Network &net, const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open '%s' for reading", path.c_str());
+    loadParameters(net, is);
+}
+
+} // namespace forms::nn

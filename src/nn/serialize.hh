@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Plain-text serialization of network parameters and compression
+ * metadata — enough for the deployment flow the paper implies: train
+ * and compress once, then hand the polarized/quantized model to the
+ * accelerator mapper in a later process.
+ *
+ * Format (line-oriented, locale-independent):
+ *   forms-model v1
+ *   param <name> <numel> <d0> <d1> ...
+ *   <numel> space-separated float values (hex float for exactness)
+ *   ...
+ *   end
+ */
+
+#ifndef FORMS_NN_SERIALIZE_HH
+#define FORMS_NN_SERIALIZE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/network.hh"
+
+namespace forms::nn {
+
+/** Serialize all parameters of a network to a stream. */
+void saveParameters(Network &net, std::ostream &os);
+
+/** Serialize to a file; fatal() on I/O failure. */
+void saveParameters(Network &net, const std::string &path);
+
+/**
+ * Load parameters into a structurally identical network (same layer
+ * names, shapes and order). fatal() on mismatch or parse error.
+ */
+void loadParameters(Network &net, std::istream &is);
+
+/** Load from a file; fatal() on I/O failure. */
+void loadParameters(Network &net, const std::string &path);
+
+} // namespace forms::nn
+
+#endif // FORMS_NN_SERIALIZE_HH

@@ -1,0 +1,109 @@
+#include "nn/zoo.hh"
+
+#include "nn/layers.hh"
+
+namespace forms::nn {
+
+std::unique_ptr<Network>
+buildLeNet5(Rng &rng, int classes)
+{
+    auto net = std::make_unique<Network>();
+    net->emplace<Conv2D>("conv1", 1, 6, 5, 1, 2, rng);
+    net->emplace<ReLU>("relu1");
+    net->emplace<MaxPool2D>("pool1", 2, 2);
+    net->emplace<Conv2D>("conv2", 6, 16, 5, 1, 0, rng);
+    net->emplace<ReLU>("relu2");
+    net->emplace<MaxPool2D>("pool2", 2, 2);
+    net->emplace<Flatten>("flat");
+    net->emplace<Dense>("fc1", 16 * 5 * 5, 120, rng);
+    net->emplace<ReLU>("relu3");
+    net->emplace<Dense>("fc2", 120, 84, rng);
+    net->emplace<ReLU>("relu4");
+    net->emplace<Dense>("fc3", 84, classes, rng);
+    return net;
+}
+
+std::unique_ptr<Network>
+buildVggSmall(Rng &rng, int classes, int base)
+{
+    auto net = std::make_unique<Network>();
+    const int c1 = base, c2 = 2 * base, c3 = 4 * base;
+    net->emplace<Conv2D>("conv1_1", 3, c1, 3, 1, 1, rng);
+    net->emplace<BatchNorm2D>("bn1_1", c1);
+    net->emplace<ReLU>("relu1_1");
+    net->emplace<Conv2D>("conv1_2", c1, c1, 3, 1, 1, rng);
+    net->emplace<BatchNorm2D>("bn1_2", c1);
+    net->emplace<ReLU>("relu1_2");
+    net->emplace<MaxPool2D>("pool1", 2, 2);
+
+    net->emplace<Conv2D>("conv2_1", c1, c2, 3, 1, 1, rng);
+    net->emplace<BatchNorm2D>("bn2_1", c2);
+    net->emplace<ReLU>("relu2_1");
+    net->emplace<Conv2D>("conv2_2", c2, c2, 3, 1, 1, rng);
+    net->emplace<BatchNorm2D>("bn2_2", c2);
+    net->emplace<ReLU>("relu2_2");
+    net->emplace<MaxPool2D>("pool2", 2, 2);
+
+    net->emplace<Conv2D>("conv3_1", c2, c3, 3, 1, 1, rng);
+    net->emplace<BatchNorm2D>("bn3_1", c3);
+    net->emplace<ReLU>("relu3_1");
+    net->emplace<Conv2D>("conv3_2", c3, c3, 3, 1, 1, rng);
+    net->emplace<BatchNorm2D>("bn3_2", c3);
+    net->emplace<ReLU>("relu3_2");
+    net->emplace<MaxPool2D>("pool3", 2, 2);
+
+    net->emplace<Flatten>("flat");
+    net->emplace<Dense>("fc1", c3 * 4 * 4, 128, rng);
+    net->emplace<ReLU>("relu_fc1");
+    net->emplace<Dense>("fc2", 128, classes, rng);
+    return net;
+}
+
+std::unique_ptr<Network>
+buildResNetSmall(Rng &rng, int classes, int base, int blocks_per_stage)
+{
+    auto net = std::make_unique<Network>();
+    net->emplace<Conv2D>("stem", 3, base, 3, 1, 1, rng);
+    net->emplace<BatchNorm2D>("stem_bn", base);
+    net->emplace<ReLU>("stem_relu");
+
+    int in_c = base;
+    const int stage_c[3] = {base, 2 * base, 4 * base};
+    for (int stage = 0; stage < 3; ++stage) {
+        for (int b = 0; b < blocks_per_stage; ++b) {
+            const int stride = (stage > 0 && b == 0) ? 2 : 1;
+            net->emplace<ResidualBlock>(
+                strfmt("s%d_b%d", stage, b), in_c, stage_c[stage],
+                stride, rng);
+            in_c = stage_c[stage];
+        }
+    }
+    net->emplace<AvgPool2D>("gap", 8, 8);
+    net->emplace<Flatten>("flat");
+    net->emplace<Dense>("fc", in_c, classes, rng);
+    return net;
+}
+
+std::unique_ptr<Network>
+buildResNetDeep(Rng &rng, int classes, int base)
+{
+    return buildResNetSmall(rng, classes, base, 3);
+}
+
+std::unique_ptr<Network>
+buildTinyConvNet(Rng &rng, int classes, int channels, int in_c, int in_hw)
+{
+    auto net = std::make_unique<Network>();
+    net->emplace<Conv2D>("conv1", in_c, channels, 3, 1, 1, rng);
+    net->emplace<ReLU>("relu1");
+    net->emplace<MaxPool2D>("pool1", 2, 2);
+    net->emplace<Conv2D>("conv2", channels, 2 * channels, 3, 1, 1, rng);
+    net->emplace<ReLU>("relu2");
+    net->emplace<MaxPool2D>("pool2", 2, 2);
+    net->emplace<Flatten>("flat");
+    const int hw = in_hw / 4;
+    net->emplace<Dense>("fc", 2 * channels * hw * hw, classes, rng);
+    return net;
+}
+
+} // namespace forms::nn

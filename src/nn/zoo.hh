@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Model zoo: CPU-trainable, scaled-down stand-ins for the paper's
+ * benchmark networks (LeNet-5, VGG-16, ResNet-18/50). The scaled
+ * variants keep the structural features that matter to FORMS — conv
+ * stacks, residual blocks, and weight matrices with at least 128 rows in
+ * the 2-d crossbar format so fragment sizes up to 128 are exercised —
+ * while remaining trainable in seconds. Full-size layer dimension specs
+ * used by the performance model live in sim/workloads.hh.
+ */
+
+#ifndef FORMS_NN_ZOO_HH
+#define FORMS_NN_ZOO_HH
+
+#include <memory>
+
+#include "nn/network.hh"
+
+namespace forms::nn {
+
+/** Classic LeNet-5 for 1x28x28 inputs (full size; small already). */
+std::unique_ptr<Network> buildLeNet5(Rng &rng, int classes = 10);
+
+/**
+ * VGG-style conv stack for 3x32x32 inputs. `base` is the first stage's
+ * channel count (VGG-16 uses 64; the scaled default is 16).
+ */
+std::unique_ptr<Network> buildVggSmall(Rng &rng, int classes = 10,
+                                       int base = 16);
+
+/**
+ * ResNet-18-style network for 3x32x32 inputs: stem conv, three residual
+ * stages (2 blocks each in the scaled default), avg-pool, classifier.
+ */
+std::unique_ptr<Network> buildResNetSmall(Rng &rng, int classes = 10,
+                                          int base = 16,
+                                          int blocks_per_stage = 2);
+
+/**
+ * Deeper ResNet-50-style stand-in: same topology family with three
+ * blocks per stage.
+ */
+std::unique_ptr<Network> buildResNetDeep(Rng &rng, int classes = 10,
+                                         int base = 16);
+
+/** A tiny 2-conv network for fast unit tests. */
+std::unique_ptr<Network> buildTinyConvNet(Rng &rng, int classes = 4,
+                                          int channels = 8,
+                                          int in_c = 1, int in_hw = 12);
+
+} // namespace forms::nn
+
+#endif // FORMS_NN_ZOO_HH

@@ -1,0 +1,83 @@
+#include "reram/crossbar.hh"
+
+#include "common/logging.hh"
+
+namespace forms::reram {
+
+CrossbarArray::CrossbarArray(int rows, int cols, CellConfig cfg, Rng *rng)
+    : rows_(rows), cols_(cols), cfg_(cfg),
+      cells_(static_cast<size_t>(rows) * static_cast<size_t>(cols)),
+      rng_(rng)
+{
+    FORMS_ASSERT(rows > 0 && cols > 0, "empty crossbar");
+}
+
+size_t
+CrossbarArray::idx(int r, int c) const
+{
+    FORMS_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                 "crossbar cell (%d, %d) out of range", r, c);
+    return static_cast<size_t>(r) * static_cast<size_t>(cols_) +
+        static_cast<size_t>(c);
+}
+
+void
+CrossbarArray::programCell(int r, int c, int level)
+{
+    cells_[idx(r, c)].program(level, cfg_, rng_);
+}
+
+int
+CrossbarArray::cellLevel(int r, int c) const
+{
+    return cells_[idx(r, c)].level();
+}
+
+double
+CrossbarArray::cellAnalogLevel(int r, int c) const
+{
+    return cells_[idx(r, c)].analogLevel();
+}
+
+double
+CrossbarArray::columnSum(int c, const std::vector<uint8_t> &row_bits,
+                         int row0, int nrows) const
+{
+    FORMS_ASSERT(row0 >= 0 && row0 + nrows <= rows_,
+                 "row group out of range");
+    FORMS_ASSERT(static_cast<int>(row_bits.size()) >= row0 + nrows,
+                 "row bit vector too short");
+    double acc = 0.0;
+    for (int r = row0; r < row0 + nrows; ++r)
+        if (row_bits[static_cast<size_t>(r)])
+            acc += cells_[idx(r, c)].analogLevel();
+    return acc;
+}
+
+int64_t
+CrossbarArray::idealColumnSum(int c, const std::vector<uint8_t> &row_bits,
+                              int row0, int nrows) const
+{
+    FORMS_ASSERT(row0 >= 0 && row0 + nrows <= rows_,
+                 "row group out of range");
+    int64_t acc = 0;
+    for (int r = row0; r < row0 + nrows; ++r)
+        if (row_bits[static_cast<size_t>(r)])
+            acc += cells_[idx(r, c)].level();
+    return acc;
+}
+
+double
+CrossbarArray::readEnergyPj(int active_rows, double step_ns) const
+{
+    // E = V^2 * G * t per active cell; using the mid-range conductance
+    // as the representative value. Units: V^2 * uS * ns = 1e-6 W*ns
+    // = 1e-6 * 1e3 mW*ns = 1e-3 pJ, hence the 1e-3 factor.
+    const double g_mid = 0.5 * (cfg_.gMinUs + cfg_.gMaxUs);
+    const double per_cell =
+        cfg_.readVoltage * cfg_.readVoltage * g_mid * step_ns * 1e-3;
+    return per_cell * static_cast<double>(active_rows) *
+        static_cast<double>(cols_);
+}
+
+} // namespace forms::reram

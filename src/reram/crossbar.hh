@@ -1,0 +1,72 @@
+/**
+ * @file
+ * ReRAM crossbar array: a grid of cells computing analog column sums
+ * for bit-serial inputs, with sub-array (row-group) activation — the
+ * physical substrate of the FORMS MCU and of all baselines.
+ */
+
+#ifndef FORMS_RERAM_CROSSBAR_HH
+#define FORMS_RERAM_CROSSBAR_HH
+
+#include <vector>
+
+#include "reram/device.hh"
+
+namespace forms::reram {
+
+/** A rows x cols grid of ReRAM cells. */
+class CrossbarArray
+{
+  public:
+    /**
+     * @param rows physical row count (wordlines)
+     * @param cols physical column count (bitlines)
+     * @param cfg cell technology
+     * @param rng variation source (nullptr = ideal devices)
+     */
+    CrossbarArray(int rows, int cols, CellConfig cfg, Rng *rng = nullptr);
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+    const CellConfig &cellConfig() const { return cfg_; }
+
+    /** Program one cell to a digital level. */
+    void programCell(int r, int c, int level);
+
+    /** Programmed digital level of a cell. */
+    int cellLevel(int r, int c) const;
+
+    /** Realized analog level (with variation) of a cell. */
+    double cellAnalogLevel(int r, int c) const;
+
+    /**
+     * Analog column sum: sum of analog levels of cells in column `c`
+     * whose row bit in `row_bits` is 1, restricted to rows
+     * [row0, row0+nrows). This is one bit-serial in-situ MAC step.
+     */
+    double columnSum(int c, const std::vector<uint8_t> &row_bits,
+                     int row0, int nrows) const;
+
+    /** Ideal (integer, variation-free) column sum for verification. */
+    int64_t idealColumnSum(int c, const std::vector<uint8_t> &row_bits,
+                           int row0, int nrows) const;
+
+    /**
+     * Crossbar read energy for one bit-serial step over `active_rows`
+     * rows (pJ): V^2 * G_avg * t per active cell, using the mid-range
+     * conductance as the representative load.
+     */
+    double readEnergyPj(int active_rows, double step_ns) const;
+
+  private:
+    int rows_, cols_;
+    CellConfig cfg_;
+    std::vector<Cell> cells_;
+    Rng *rng_;
+
+    size_t idx(int r, int c) const;
+};
+
+} // namespace forms::reram
+
+#endif // FORMS_RERAM_CROSSBAR_HH

@@ -1,0 +1,66 @@
+#include "reram/device.hh"
+
+#include "common/logging.hh"
+
+namespace forms::reram {
+
+void
+Cell::program(int level, const CellConfig &cfg, Rng *rng)
+{
+    FORMS_ASSERT(level >= 0 && level <= cfg.maxLevel(),
+                 "cell level %d out of range", level);
+    level_ = level;
+    double factor = 1.0;
+    if (rng && cfg.variationSigma > 0.0)
+        factor = rng->lognormal(0.0, cfg.variationSigma);
+    // Variation multiplies the conductance *above* the off level; an
+    // off cell (level 0) contributes no signal regardless of variation.
+    analogLevel_ = static_cast<double>(level) * factor;
+}
+
+double
+Cell::conductanceUs(const CellConfig &cfg) const
+{
+    const double frac = cfg.maxLevel()
+        ? analogLevel_ / static_cast<double>(cfg.maxLevel()) : 0.0;
+    return cfg.gMinUs + (cfg.gMaxUs - cfg.gMinUs) * frac;
+}
+
+std::vector<int>
+sliceMagnitude(uint32_t magnitude, int weight_bits, int bits_per_cell)
+{
+    FORMS_ASSERT(weight_bits >= 1 && bits_per_cell >= 1,
+                 "bad slicing precision");
+    FORMS_ASSERT(weight_bits <= 32, "weight bits too large");
+    if (weight_bits < 32) {
+        FORMS_ASSERT(magnitude < (1u << weight_bits),
+                     "magnitude %u exceeds %d bits", magnitude, weight_bits);
+    }
+    const int n = cellsPerWeight(weight_bits, bits_per_cell);
+    const uint32_t mask = (1u << bits_per_cell) - 1;
+    std::vector<int> out(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        out[static_cast<size_t>(i)] =
+            static_cast<int>((magnitude >> (i * bits_per_cell)) & mask);
+    }
+    return out;
+}
+
+uint32_t
+unsliceMagnitude(const std::vector<int> &levels, int bits_per_cell)
+{
+    uint32_t v = 0;
+    for (size_t i = levels.size(); i > 0; --i) {
+        v = (v << bits_per_cell) |
+            static_cast<uint32_t>(levels[i - 1] & ((1 << bits_per_cell) - 1));
+    }
+    return v;
+}
+
+int
+cellsPerWeight(int weight_bits, int bits_per_cell)
+{
+    return (weight_bits + bits_per_cell - 1) / bits_per_cell;
+}
+
+} // namespace forms::reram

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Behavioral ReRAM cell model.
+ *
+ * Cells store `bitsPerCell` bits as one of 2^bitsPerCell discrete
+ * conductance levels between gMin and gMax (a VTEAM-flavored
+ * linearized level map; the paper uses 2-bit cells). Device variation
+ * is modeled as a multiplicative log-normal factor on the programmed
+ * conductance (paper §V-E: log-normal, mean 0, sigma 0.1).
+ *
+ * Functional arithmetic uses "level units": a cell programmed to level
+ * L contributes L to an ideal column sum when its row input bit is 1.
+ * The conversion to physical conductance is kept for energy estimates
+ * and variation injection.
+ */
+
+#ifndef FORMS_RERAM_DEVICE_HH
+#define FORMS_RERAM_DEVICE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace forms::reram {
+
+/** Static parameters of the ReRAM cell technology. */
+struct CellConfig
+{
+    int bitsPerCell = 2;        //!< bits stored per cell
+    double gMinUs = 2.0;        //!< minimum (off) conductance, microsiemens
+    double gMaxUs = 100.0;      //!< maximum (on) conductance
+    double readVoltage = 0.2;   //!< volts on an active row
+    double variationSigma = 0.0;//!< log-normal sigma (0 = ideal devices)
+
+    /** Number of programmable levels. */
+    int levels() const { return 1 << bitsPerCell; }
+
+    /** Maximum level value. */
+    int maxLevel() const { return levels() - 1; }
+};
+
+/** One programmable cell: target level plus realized conductance. */
+class Cell
+{
+  public:
+    Cell() = default;
+
+    /**
+     * Program the cell to a target level; variation (if configured)
+     * perturbs the realized conductance once at program time.
+     */
+    void program(int level, const CellConfig &cfg, Rng *rng);
+
+    /** Programmed digital level. */
+    int level() const { return level_; }
+
+    /**
+     * Effective analog level (level units) including variation; this
+     * is what an ideal column sum accumulates.
+     */
+    double analogLevel() const { return analogLevel_; }
+
+    /** Realized conductance in microsiemens. */
+    double conductanceUs(const CellConfig &cfg) const;
+
+  private:
+    int level_ = 0;
+    double analogLevel_ = 0.0;
+};
+
+/**
+ * Decompose a magnitude into per-cell levels, least-significant cell
+ * first: value = sum_i levels[i] * (2^bitsPerCell)^i.
+ */
+std::vector<int> sliceMagnitude(uint32_t magnitude, int weight_bits,
+                                int bits_per_cell);
+
+/** Recompose sliced levels back into a magnitude. */
+uint32_t unsliceMagnitude(const std::vector<int> &levels,
+                          int bits_per_cell);
+
+/** Cells needed per weight for the given precisions. */
+int cellsPerWeight(int weight_bits, int bits_per_cell);
+
+} // namespace forms::reram
+
+#endif // FORMS_RERAM_DEVICE_HH

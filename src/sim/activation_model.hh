@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Parametric activation statistics for the zero-skipping model.
+ *
+ * Effective input cycles depend only on the distribution of quantized
+ * activation values. Post-BatchNorm/ReLU activations are sparse (a
+ * sizeable zero fraction) and heavy-tailed; a zero-inflated log-normal
+ * over the 16-bit grid reproduces the paper's measured average-EIC
+ * curve (Figure 8(b): ~10.7 cycles at fragment size 4 rising to ~15 at
+ * 128). The model is calibrated against those two published points;
+ * the fig8 bench also cross-checks against activations measured from a
+ * trained (scaled) network.
+ */
+
+#ifndef FORMS_SIM_ACTIVATION_MODEL_HH
+#define FORMS_SIM_ACTIVATION_MODEL_HH
+
+#include <vector>
+
+#include "arch/zero_skip.hh"
+#include "common/rng.hh"
+
+namespace forms::sim {
+
+/** Zero-inflated log-normal activation distribution on a b-bit grid. */
+struct ActivationModel
+{
+    double zeroFraction = 0.35;  //!< exact zeros (ReLU kills ~a third)
+    double logMedian = 5.6;      //!< median of ln(value) for nonzeros
+    double logSigma = 1.9;       //!< sigma of ln(value)
+    int inputBits = 16;
+
+    /** Draw one quantized activation. */
+    uint32_t sample(Rng &rng) const;
+
+    /** Draw a vector of activations. */
+    std::vector<uint32_t> sampleVector(Rng &rng, size_t n) const;
+
+    /**
+     * Monte-Carlo estimate of the average EIC for a fragment size
+     * (deterministic for a fixed seed).
+     */
+    double averageEic(int frag_size, int samples = 20000,
+                      uint64_t seed = 1234) const;
+
+    /** Full EIC histogram for a fragment size. */
+    arch::EicStats eicStats(int frag_size, int samples = 20000,
+                            uint64_t seed = 1234) const;
+
+    /** Model calibrated to the paper's ResNet-50 Figure 8(b) curve. */
+    static ActivationModel calibratedResNet50();
+};
+
+} // namespace forms::sim
+
+#endif // FORMS_SIM_ACTIVATION_MODEL_HH

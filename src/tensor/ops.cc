@@ -1,0 +1,350 @@
+#include "tensor/ops.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace forms {
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    FORMS_ASSERT(a.rank() == 2 && b.rank() == 2, "matmul needs rank-2");
+    const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    FORMS_ASSERT(b.dim(0) == k, "matmul inner dim mismatch %lld vs %lld",
+                 static_cast<long long>(a.dim(1)),
+                 static_cast<long long>(b.dim(0)));
+    Tensor c({m, n});
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = c.data();
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t l = 0; l < k; ++l) {
+            const float av = pa[i * k + l];
+            if (av == 0.0f)
+                continue;
+            const float *brow = pb + l * n;
+            float *crow = pc + i * n;
+            for (int64_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor
+matmulTransposeB(const Tensor &a, const Tensor &b_t)
+{
+    FORMS_ASSERT(a.rank() == 2 && b_t.rank() == 2, "matmulT needs rank-2");
+    const int64_t m = a.dim(0), k = a.dim(1), n = b_t.dim(0);
+    FORMS_ASSERT(b_t.dim(1) == k, "matmulTransposeB inner dim mismatch");
+    Tensor c({m, n});
+    const float *pa = a.data();
+    const float *pb = b_t.data();
+    float *pc = c.data();
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+            const float *arow = pa + i * k;
+            const float *brow = pb + j * k;
+            double acc = 0.0;
+            for (int64_t l = 0; l < k; ++l)
+                acc += static_cast<double>(arow[l]) * brow[l];
+            pc[i * n + j] = static_cast<float>(acc);
+        }
+    }
+    return c;
+}
+
+Tensor
+matmulTransposeA(const Tensor &a, const Tensor &b)
+{
+    FORMS_ASSERT(a.rank() == 2 && b.rank() == 2, "matmulTA needs rank-2");
+    const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    FORMS_ASSERT(b.dim(0) == m, "matmulTransposeA outer dim mismatch");
+    Tensor c({k, n});
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = c.data();
+    for (int64_t i = 0; i < m; ++i) {
+        const float *arow = pa + i * k;
+        const float *brow = pb + i * n;
+        for (int64_t l = 0; l < k; ++l) {
+            const float av = arow[l];
+            if (av == 0.0f)
+                continue;
+            float *crow = pc + l * n;
+            for (int64_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor
+transpose(const Tensor &a)
+{
+    FORMS_ASSERT(a.rank() == 2, "transpose needs rank-2");
+    const int64_t m = a.dim(0), n = a.dim(1);
+    Tensor t({n, m});
+    for (int64_t i = 0; i < m; ++i)
+        for (int64_t j = 0; j < n; ++j)
+            t.at(j, i) = a.at(i, j);
+    return t;
+}
+
+int
+convOutDim(int in, int k, int stride, int pad)
+{
+    const int out = (in + 2 * pad - k) / stride + 1;
+    FORMS_ASSERT(out > 0, "conv output dimension collapsed to zero");
+    return out;
+}
+
+Tensor
+im2col(const Tensor &input, int kh, int kw, int stride, int pad)
+{
+    FORMS_ASSERT(input.rank() == 4, "im2col expects NCHW");
+    const int64_t n = input.dim(0), c = input.dim(1);
+    const int h = static_cast<int>(input.dim(2));
+    const int w = static_cast<int>(input.dim(3));
+    const int oh = convOutDim(h, kh, stride, pad);
+    const int ow = convOutDim(w, kw, stride, pad);
+
+    const int64_t rows = c * kh * kw;
+    const int64_t cols = n * oh * ow;
+    Tensor out({rows, cols});
+    float *po = out.data();
+    const float *pi = input.data();
+
+    for (int64_t img = 0; img < n; ++img) {
+        for (int64_t ch = 0; ch < c; ++ch) {
+            const float *plane = pi + (img * c + ch) * h * w;
+            for (int ky = 0; ky < kh; ++ky) {
+                for (int kx = 0; kx < kw; ++kx) {
+                    const int64_t row = (ch * kh + ky) * kw + kx;
+                    for (int oy = 0; oy < oh; ++oy) {
+                        const int iy = oy * stride - pad + ky;
+                        const int64_t col_base = (img * oh + oy) * ow;
+                        float *dst = po + row * cols + col_base;
+                        if (iy < 0 || iy >= h) {
+                            std::fill(dst, dst + ow, 0.0f);
+                            continue;
+                        }
+                        for (int ox = 0; ox < ow; ++ox) {
+                            const int ix = ox * stride - pad + kx;
+                            dst[ox] = (ix >= 0 && ix < w)
+                                ? plane[iy * w + ix] : 0.0f;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+col2im(const Tensor &cols, const Shape &input_shape, int kh, int kw,
+       int stride, int pad)
+{
+    FORMS_ASSERT(input_shape.size() == 4, "col2im expects NCHW shape");
+    const int64_t n = input_shape[0], c = input_shape[1];
+    const int h = static_cast<int>(input_shape[2]);
+    const int w = static_cast<int>(input_shape[3]);
+    const int oh = convOutDim(h, kh, stride, pad);
+    const int ow = convOutDim(w, kw, stride, pad);
+    const int64_t ncols = n * oh * ow;
+    FORMS_ASSERT(cols.dim(0) == c * kh * kw && cols.dim(1) == ncols,
+                 "col2im shape mismatch");
+
+    Tensor out(input_shape);
+    float *po = out.data();
+    const float *pc = cols.data();
+
+    for (int64_t img = 0; img < n; ++img) {
+        for (int64_t ch = 0; ch < c; ++ch) {
+            float *plane = po + (img * c + ch) * h * w;
+            for (int ky = 0; ky < kh; ++ky) {
+                for (int kx = 0; kx < kw; ++kx) {
+                    const int64_t row = (ch * kh + ky) * kw + kx;
+                    for (int oy = 0; oy < oh; ++oy) {
+                        const int iy = oy * stride - pad + ky;
+                        if (iy < 0 || iy >= h)
+                            continue;
+                        const int64_t col_base = (img * oh + oy) * ow;
+                        const float *src = pc + row * ncols + col_base;
+                        for (int ox = 0; ox < ow; ++ox) {
+                            const int ix = ox * stride - pad + kx;
+                            if (ix >= 0 && ix < w)
+                                plane[iy * w + ix] += src[ox];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+relu(const Tensor &x)
+{
+    Tensor y = x;
+    y.apply([](float v) { return v > 0.0f ? v : 0.0f; });
+    return y;
+}
+
+Tensor
+reluGrad(const Tensor &x, const Tensor &grad_out)
+{
+    FORMS_ASSERT(x.numel() == grad_out.numel(), "reluGrad size mismatch");
+    Tensor g = grad_out;
+    const float *px = x.data();
+    float *pg = g.data();
+    for (int64_t i = 0; i < g.numel(); ++i)
+        if (px[i] <= 0.0f)
+            pg[i] = 0.0f;
+    return g;
+}
+
+Tensor
+softmaxRows(const Tensor &logits)
+{
+    FORMS_ASSERT(logits.rank() == 2, "softmaxRows needs rank-2");
+    const int64_t n = logits.dim(0), k = logits.dim(1);
+    Tensor out({n, k});
+    for (int64_t i = 0; i < n; ++i) {
+        float mx = logits.at(i, 0);
+        for (int64_t j = 1; j < k; ++j)
+            mx = std::max(mx, logits.at(i, j));
+        double denom = 0.0;
+        for (int64_t j = 0; j < k; ++j) {
+            const float e = std::exp(logits.at(i, j) - mx);
+            out.at(i, j) = e;
+            denom += e;
+        }
+        for (int64_t j = 0; j < k; ++j)
+            out.at(i, j) = static_cast<float>(out.at(i, j) / denom);
+    }
+    return out;
+}
+
+Tensor
+maxPool2d(const Tensor &input, int k, int stride, Tensor *argmax)
+{
+    FORMS_ASSERT(input.rank() == 4, "maxPool2d expects NCHW");
+    const int64_t n = input.dim(0), c = input.dim(1);
+    const int h = static_cast<int>(input.dim(2));
+    const int w = static_cast<int>(input.dim(3));
+    const int oh = convOutDim(h, k, stride, 0);
+    const int ow = convOutDim(w, k, stride, 0);
+
+    Tensor out({n, c, oh, ow});
+    if (argmax)
+        *argmax = Tensor({n, c, oh, ow});
+
+    for (int64_t img = 0; img < n; ++img) {
+        for (int64_t ch = 0; ch < c; ++ch) {
+            for (int oy = 0; oy < oh; ++oy) {
+                for (int ox = 0; ox < ow; ++ox) {
+                    float best = -std::numeric_limits<float>::infinity();
+                    int64_t best_idx = -1;
+                    for (int ky = 0; ky < k; ++ky) {
+                        for (int kx = 0; kx < k; ++kx) {
+                            const int iy = oy * stride + ky;
+                            const int ix = ox * stride + kx;
+                            if (iy >= h || ix >= w)
+                                continue;
+                            const float v = input.at(img, ch, iy, ix);
+                            if (v > best) {
+                                best = v;
+                                best_idx =
+                                    ((img * c + ch) * h + iy) * w + ix;
+                            }
+                        }
+                    }
+                    out.at(img, ch, oy, ox) = best;
+                    if (argmax) {
+                        argmax->at(img, ch, oy, ox) =
+                            static_cast<float>(best_idx);
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+maxPool2dBackward(const Tensor &grad_out, const Tensor &argmax,
+                  const Shape &input_shape)
+{
+    Tensor grad_in(input_shape);
+    const float *pg = grad_out.data();
+    const float *pa = argmax.data();
+    float *pi = grad_in.data();
+    for (int64_t i = 0; i < grad_out.numel(); ++i) {
+        const int64_t idx = static_cast<int64_t>(pa[i]);
+        FORMS_ASSERT(idx >= 0 && idx < grad_in.numel(),
+                     "argmax index out of range");
+        pi[idx] += pg[i];
+    }
+    return grad_in;
+}
+
+Tensor
+avgPool2d(const Tensor &input, int k, int stride)
+{
+    FORMS_ASSERT(input.rank() == 4, "avgPool2d expects NCHW");
+    const int64_t n = input.dim(0), c = input.dim(1);
+    const int h = static_cast<int>(input.dim(2));
+    const int w = static_cast<int>(input.dim(3));
+    const int oh = convOutDim(h, k, stride, 0);
+    const int ow = convOutDim(w, k, stride, 0);
+    Tensor out({n, c, oh, ow});
+    const float inv = 1.0f / static_cast<float>(k * k);
+    for (int64_t img = 0; img < n; ++img)
+        for (int64_t ch = 0; ch < c; ++ch)
+            for (int oy = 0; oy < oh; ++oy)
+                for (int ox = 0; ox < ow; ++ox) {
+                    float acc = 0.0f;
+                    for (int ky = 0; ky < k; ++ky)
+                        for (int kx = 0; kx < k; ++kx) {
+                            const int iy = oy * stride + ky;
+                            const int ix = ox * stride + kx;
+                            if (iy < h && ix < w)
+                                acc += input.at(img, ch, iy, ix);
+                        }
+                    out.at(img, ch, oy, ox) = acc * inv;
+                }
+    return out;
+}
+
+Tensor
+avgPool2dBackward(const Tensor &grad_out, const Shape &input_shape,
+                  int k, int stride)
+{
+    Tensor grad_in(input_shape);
+    const int64_t n = grad_out.dim(0), c = grad_out.dim(1);
+    const int oh = static_cast<int>(grad_out.dim(2));
+    const int ow = static_cast<int>(grad_out.dim(3));
+    const int h = static_cast<int>(input_shape[2]);
+    const int w = static_cast<int>(input_shape[3]);
+    const float inv = 1.0f / static_cast<float>(k * k);
+    for (int64_t img = 0; img < n; ++img)
+        for (int64_t ch = 0; ch < c; ++ch)
+            for (int oy = 0; oy < oh; ++oy)
+                for (int ox = 0; ox < ow; ++ox) {
+                    const float g = grad_out.at(img, ch, oy, ox) * inv;
+                    for (int ky = 0; ky < k; ++ky)
+                        for (int kx = 0; kx < k; ++kx) {
+                            const int iy = oy * stride + ky;
+                            const int ix = ox * stride + kx;
+                            if (iy < h && ix < w)
+                                grad_in.at(img, ch, iy, ix) += g;
+                        }
+                }
+    return grad_in;
+}
+
+} // namespace forms

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for the activation statistics model: sampling bounds, EIC
+ * monotonicity in fragment size, and calibration against the paper's
+ * Figure 8(b) reference points (avg EIC ~10.7 at fragment size 4 and
+ * ~15 at 128 for 16-bit inputs).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/activation_model.hh"
+
+namespace forms::sim {
+namespace {
+
+TEST(ActivationModel, SamplesWithinGrid)
+{
+    ActivationModel m = ActivationModel::calibratedResNet50();
+    Rng rng(1);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LE(m.sample(rng), 65535u);
+}
+
+TEST(ActivationModel, ZeroFractionRespected)
+{
+    ActivationModel m;
+    m.zeroFraction = 0.5;
+    Rng rng(2);
+    int zeros = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        zeros += m.sample(rng) == 0 ? 1 : 0;
+    // Log-normal samples below 0.5 also round to zero, so >= 0.5.
+    EXPECT_GT(static_cast<double>(zeros) / n, 0.48);
+}
+
+TEST(ActivationModel, EicMonotoneInFragmentSize)
+{
+    ActivationModel m = ActivationModel::calibratedResNet50();
+    double prev = 0.0;
+    for (int frag : {1, 4, 8, 16, 32, 64, 128}) {
+        const double eic = m.averageEic(frag, 8000);
+        EXPECT_GE(eic, prev);
+        prev = eic;
+    }
+}
+
+TEST(ActivationModel, CalibrationMatchesFigure8b)
+{
+    // Paper: fragment size 4 -> average EIC 10.7 (33% cycles saved);
+    // fragment size 128 -> 15 (6% saved). Tolerate +/-0.8 cycles.
+    ActivationModel m = ActivationModel::calibratedResNet50();
+    EXPECT_NEAR(m.averageEic(4, 40000), 10.7, 0.8);
+    EXPECT_NEAR(m.averageEic(128, 40000), 15.0, 0.8);
+}
+
+TEST(ActivationModel, SavingsShrinkWithFragmentSize)
+{
+    ActivationModel m = ActivationModel::calibratedResNet50();
+    const auto s4 = m.eicStats(4, 20000);
+    const auto s128 = m.eicStats(128, 20000);
+    EXPECT_GT(s4.cycleSavings(), s128.cycleSavings());
+    // Paper: ~33% saved at 4, ~6% at 128.
+    EXPECT_NEAR(s4.cycleSavings(), 0.33, 0.06);
+    EXPECT_NEAR(s128.cycleSavings(), 0.06, 0.04);
+}
+
+TEST(ActivationModel, DeterministicForSeed)
+{
+    ActivationModel m = ActivationModel::calibratedResNet50();
+    EXPECT_DOUBLE_EQ(m.averageEic(8, 5000, 9), m.averageEic(8, 5000, 9));
+}
+
+TEST(ActivationModel, HistogramSkewsHighForLargeFragments)
+{
+    // Figure 8(a): large fragments concentrate at 15-16 cycles.
+    ActivationModel m = ActivationModel::calibratedResNet50();
+    const auto stats = m.eicStats(128, 20000);
+    double high = 0.0;
+    for (int b = 14; b <= 16; ++b)
+        high += stats.histogram().fraction(b);
+    EXPECT_GT(high, 0.6);
+}
+
+} // namespace
+} // namespace forms::sim

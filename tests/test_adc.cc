@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the ADC/DAC models: quantization transfer function,
+ * lossless-resolution exactness, saturation, and the area/power
+ * scaling law reproducing the paper's Table III design points.
+ */
+
+#include <gtest/gtest.h>
+
+#include "reram/adc.hh"
+
+namespace forms::reram {
+namespace {
+
+TEST(Adc, LosslessBits)
+{
+    // rows * (2^cellBits - 1) distinct sums + zero.
+    EXPECT_EQ(AdcModel::losslessBits(8, 2), 5);    // max 24 -> 5 bits
+    EXPECT_EQ(AdcModel::losslessBits(4, 2), 4);    // max 12 -> 4 bits
+    EXPECT_EQ(AdcModel::losslessBits(16, 2), 6);   // max 48 -> 6 bits
+    EXPECT_EQ(AdcModel::losslessBits(128, 2), 9);  // max 384 -> 9 bits
+    EXPECT_EQ(AdcModel::losslessBits(8, 1), 4);    // max 8 -> 4 bits
+}
+
+TEST(Adc, LosslessQuantizationIsExactOnIntegers)
+{
+    const int rows = 8, cell_bits = 2;
+    const int max_sum = rows * ((1 << cell_bits) - 1);
+    AdcModel adc({AdcModel::losslessBits(rows, cell_bits), 2.1});
+    // With full_scale == codes-1 the step is exactly 1.
+    const double fs = static_cast<double>(adc.config().codes() - 1);
+    for (int v = 0; v <= max_sum; ++v) {
+        const int count = adc.quantize(static_cast<double>(v), fs);
+        EXPECT_DOUBLE_EQ(adc.reconstruct(count, fs),
+                         static_cast<double>(v));
+    }
+}
+
+TEST(Adc, SaturatesAtTopCode)
+{
+    AdcModel adc({4, 2.1});
+    EXPECT_EQ(adc.quantize(1e9, 24.0), 15);
+    EXPECT_EQ(adc.quantize(-5.0, 24.0), 0);
+}
+
+TEST(Adc, PaperModeRoundsToStep)
+{
+    // 4-bit ADC over a 0..24 fragment sum: step = 24/15 = 1.6.
+    AdcModel adc({4, 2.1});
+    const double fs = 24.0;
+    const int count = adc.quantize(8.0, fs);
+    EXPECT_EQ(count, 5);   // 8 / 1.6 = 5.0
+    EXPECT_NEAR(adc.reconstruct(count, fs), 8.0, 1e-9);
+    // Mid-step values incur bounded error.
+    const int c2 = adc.quantize(8.7, fs);
+    EXPECT_NEAR(adc.reconstruct(c2, fs), 8.7, fs / 15.0 / 2.0 + 1e-9);
+}
+
+TEST(Adc, ScalingLawReproducesIsaacPoint)
+{
+    // Table III: 8 ADCs of 8-bit @ 1.2 GHz = 16 mW, 0.0096 mm^2.
+    AdcModel adc({8, 1.2});
+    EXPECT_NEAR(adc.powerMw() * 8, 16.0, 0.05);
+    EXPECT_NEAR(adc.areaMm2() * 8, 0.0096, 0.0001);
+}
+
+TEST(Adc, ScalingLawReproducesFormsPoint)
+{
+    // Table III: 32 ADCs of 4-bit @ 2.1 GHz = 15.2 mW, 0.0091 mm^2.
+    AdcModel adc({4, 2.1});
+    EXPECT_NEAR(adc.powerMw() * 32, 15.2, 0.05);
+    EXPECT_NEAR(adc.areaMm2() * 32, 0.0091, 0.0001);
+}
+
+TEST(Adc, PowerAndAreaGrowWithResolution)
+{
+    double prev_p = 0.0, prev_a = 0.0;
+    for (int bits = 3; bits <= 10; ++bits) {
+        AdcModel adc({bits, 1.0});
+        EXPECT_GT(adc.powerMw(), prev_p);
+        EXPECT_GT(adc.areaMm2(), prev_a);
+        prev_p = adc.powerMw();
+        prev_a = adc.areaMm2();
+    }
+}
+
+TEST(Adc, ExponentialTermDominatesEventually)
+{
+    // Area roughly quadruples from 8 to 10 bits (cap-DAC dominated).
+    AdcModel a8({8, 1.0}), a10({10, 1.0});
+    EXPECT_GT(a10.areaMm2() / a8.areaMm2(), 2.5);
+}
+
+TEST(Adc, PaperFrequencyPoints)
+{
+    EXPECT_NEAR(AdcModel::paperFreqGhz(8), 1.2, 1e-9);
+    EXPECT_NEAR(AdcModel::paperFreqGhz(4), 2.1, 1e-9);
+    // Monotone: fewer bits -> faster.
+    EXPECT_GT(AdcModel::paperFreqGhz(3), AdcModel::paperFreqGhz(5));
+}
+
+TEST(Adc, EnergyPerSample)
+{
+    AdcModel adc({4, 2.1});
+    EXPECT_NEAR(adc.energyPerSamplePj(),
+                adc.powerMw() / 2.1, 1e-9);
+}
+
+TEST(Dac, TableIIIValues)
+{
+    // 8*128 1-bit DACs = 4 mW / 0.00017 mm^2.
+    EXPECT_NEAR(DacModel::powerMw() * 8 * 128, 4.0, 1e-9);
+    EXPECT_NEAR(DacModel::areaMm2() * 8 * 128, 0.00017, 1e-9);
+}
+
+} // namespace
+} // namespace forms::reram

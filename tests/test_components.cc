@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the circuit cost roll-ups against the paper's published
+ * Table III (MCU components) and Table IV (chip totals) values, plus
+ * the iso-area ADC provisioning rule.
+ */
+
+#include <gtest/gtest.h>
+
+#include "reram/components.hh"
+
+namespace forms::reram {
+namespace {
+
+TEST(McuConfig, FormsFragmentToAdcBits)
+{
+    EXPECT_EQ(McuConfig::forms(4).adcBits, 3);
+    EXPECT_EQ(McuConfig::forms(8).adcBits, 4);
+    EXPECT_EQ(McuConfig::forms(16).adcBits, 5);
+}
+
+TEST(McuConfig, IsoAreaAdcCounts)
+{
+    // Four 4-bit ADCs fit in one 8-bit ADC's area (paper §IV-C).
+    EXPECT_EQ(McuConfig::forms(8).adcsPerCrossbar, 4);
+    // Smaller ADCs -> more of them; larger -> fewer.
+    EXPECT_GT(McuConfig::forms(4).adcsPerCrossbar, 4);
+    EXPECT_LT(McuConfig::forms(16).adcsPerCrossbar, 4);
+    EXPECT_GE(McuConfig::forms(16).adcsPerCrossbar, 1);
+}
+
+TEST(McuCost, FormsTableIIIComponentTotals)
+{
+    McuCost cost = buildMcuCost(McuConfig::forms(8));
+    // Sum of the FORMS column of Table III:
+    // 15.2 + 4 + 0.0055 + 2.44 + 0.2 + 0.01 + 0.012 = 21.8675 mW.
+    EXPECT_NEAR(cost.totalPowerMw, 21.87, 0.1);
+    EXPECT_NEAR(cost.totalAreaMm2, 0.00966, 0.0002);
+    EXPECT_EQ(cost.components.size(), 7u);
+}
+
+TEST(McuCost, IsaacTableIIIComponentTotals)
+{
+    McuCost cost = buildMcuCost(McuConfig::isaac());
+    // 16 + 4 + 0.01 + 2.43 + 0.2 = 22.64 mW.
+    EXPECT_NEAR(cost.totalPowerMw, 22.64, 0.1);
+    EXPECT_NEAR(cost.totalAreaMm2, 0.01009, 0.0002);
+    EXPECT_EQ(cost.components.size(), 5u);   // no skip / sign logic
+}
+
+TEST(McuCost, FormsAdcBlockMatchesTable)
+{
+    McuCost cost = buildMcuCost(McuConfig::forms(8));
+    const auto &adc = cost.components.front();
+    EXPECT_EQ(adc.name, "ADC");
+    EXPECT_EQ(adc.count, 32);
+    EXPECT_NEAR(adc.powerMw, 15.2, 0.05);
+    EXPECT_NEAR(adc.areaMm2, 0.0091, 0.0002);
+}
+
+TEST(ChipCost, FormsTableIVRollup)
+{
+    ChipCost cost = buildChipCost(ChipConfig::forms(8));
+    // Table IV: 12 MCUs = 280.05 mW / 0.152 mm^2, tile = 333.1 / 0.39,
+    // 168 tiles = 55960.8 mW, chip = 66360.8 mW / 89.15 mm^2.
+    EXPECT_NEAR(cost.mcuPowerMw * 12, 280.05, 1.5);
+    EXPECT_NEAR(cost.mcuAreaMm2 * 12, 0.152, 0.002);
+    EXPECT_NEAR(cost.tilePowerMw, 333.1, 1.5);
+    EXPECT_NEAR(cost.tileAreaMm2, 0.39, 0.005);
+    EXPECT_NEAR(cost.chipPowerMw, 66360.8, 300.0);
+    EXPECT_NEAR(cost.chipAreaMm2, 88.4, 1.5);
+}
+
+TEST(ChipCost, IsaacTableIVRollup)
+{
+    ChipCost cost = buildChipCost(ChipConfig::isaac());
+    EXPECT_NEAR(cost.mcuPowerMw * 12, 288.96, 1.5);
+    EXPECT_NEAR(cost.tilePowerMw, 329.81, 1.5);
+    EXPECT_NEAR(cost.chipPowerMw, 65808.08, 300.0);
+    EXPECT_NEAR(cost.chipAreaMm2, 85.1, 1.5);
+}
+
+TEST(ChipCost, FormsIsaacParity)
+{
+    // The paper's iso-cost claim: FORMS within ~1% power and ~5% area.
+    ChipCost forms = buildChipCost(ChipConfig::forms(8));
+    ChipCost isaac = buildChipCost(ChipConfig::isaac());
+    EXPECT_NEAR(forms.chipPowerMw / isaac.chipPowerMw, 1.0, 0.02);
+    EXPECT_NEAR(forms.chipAreaMm2 / isaac.chipAreaMm2, 1.0, 0.06);
+}
+
+TEST(DaDianNao, TableIVTotals)
+{
+    DaDianNaoCost d;
+    EXPECT_NEAR(d.chipPowerMw(), 20058.8, 1.0);
+    EXPECT_NEAR(d.chipAreaMm2(), 87.75, 0.1);
+}
+
+} // namespace
+} // namespace forms::reram

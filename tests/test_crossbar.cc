@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the crossbar array substrate: programming, ideal column
+ * sums against a naive reference, sub-array (row-group) restriction,
+ * and variation behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "reram/crossbar.hh"
+
+namespace forms::reram {
+namespace {
+
+TEST(Crossbar, ProgramAndReadBack)
+{
+    CellConfig cfg;
+    CrossbarArray xb(4, 4, cfg);
+    xb.programCell(1, 2, 3);
+    EXPECT_EQ(xb.cellLevel(1, 2), 3);
+    EXPECT_EQ(xb.cellLevel(0, 0), 0);
+}
+
+TEST(Crossbar, IdealColumnSumMatchesNaive)
+{
+    CellConfig cfg;
+    Rng rng(3);
+    const int rows = 16, cols = 8;
+    CrossbarArray xb(rows, cols, cfg);
+    std::vector<std::vector<int>> ref(
+        rows, std::vector<int>(cols, 0));
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c) {
+            const int level = static_cast<int>(rng.below(4));
+            xb.programCell(r, c, level);
+            ref[r][c] = level;
+        }
+    std::vector<uint8_t> bits(rows);
+    for (int r = 0; r < rows; ++r)
+        bits[r] = rng.bernoulli(0.5) ? 1 : 0;
+
+    for (int c = 0; c < cols; ++c) {
+        int64_t expect = 0;
+        for (int r = 0; r < rows; ++r)
+            if (bits[r])
+                expect += ref[r][c];
+        EXPECT_EQ(xb.idealColumnSum(c, bits, 0, rows), expect);
+        EXPECT_DOUBLE_EQ(xb.columnSum(c, bits, 0, rows),
+                         static_cast<double>(expect));
+    }
+}
+
+TEST(Crossbar, RowGroupRestriction)
+{
+    CellConfig cfg;
+    CrossbarArray xb(8, 2, cfg);
+    for (int r = 0; r < 8; ++r)
+        xb.programCell(r, 0, 1);
+    std::vector<uint8_t> bits(8, 1);
+    // Only the second group of 4 rows.
+    EXPECT_EQ(xb.idealColumnSum(0, bits, 4, 4), 4);
+    EXPECT_EQ(xb.idealColumnSum(0, bits, 0, 4), 4);
+    EXPECT_EQ(xb.idealColumnSum(0, bits, 0, 8), 8);
+}
+
+TEST(Crossbar, VariationShiftsAnalogNotDigital)
+{
+    CellConfig cfg;
+    cfg.variationSigma = 0.2;
+    Rng rng(5);
+    CrossbarArray xb(32, 1, cfg, &rng);
+    for (int r = 0; r < 32; ++r)
+        xb.programCell(r, 0, 2);
+    std::vector<uint8_t> bits(32, 1);
+    EXPECT_EQ(xb.idealColumnSum(0, bits, 0, 32), 64);
+    const double analog = xb.columnSum(0, bits, 0, 32);
+    EXPECT_NE(analog, 64.0);
+    EXPECT_NEAR(analog, 64.0, 64.0 * 0.25);
+}
+
+TEST(Crossbar, ReadEnergyPositiveAndScales)
+{
+    CellConfig cfg;
+    CrossbarArray xb(128, 128, cfg);
+    const double e8 = xb.readEnergyPj(8, 1.0);
+    const double e128 = xb.readEnergyPj(128, 1.0);
+    EXPECT_GT(e8, 0.0);
+    EXPECT_NEAR(e128 / e8, 16.0, 1e-9);
+}
+
+} // namespace
+} // namespace forms::reram

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Property tests for fragment indexing: every polarization policy must
+ * produce a valid permutation, fragments must partition the rows, and
+ * the pruning restriction must preserve order and drop exactly the
+ * masked rows. Parameterized over policies and fragment sizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "admm/fragment.hh"
+
+namespace forms::admm {
+namespace {
+
+using PlanParam = std::tuple<PolarizationPolicy, int>;
+
+class FragmentPlanTest : public ::testing::TestWithParam<PlanParam>
+{
+};
+
+TEST_P(FragmentPlanTest, OrderingIsPermutation)
+{
+    auto [policy, frag] = GetParam();
+    const int64_t cout = 6, cin = 5, k = 3;
+    FragmentPlan plan = FragmentPlan::forConv(cout, cin, k, frag, policy);
+    EXPECT_EQ(plan.rows(), cin * k * k);
+    std::set<int64_t> seen;
+    for (int64_t p = 0; p < plan.rows(); ++p) {
+        const int64_t r = plan.orderedRow(p);
+        EXPECT_GE(r, 0);
+        EXPECT_LT(r, plan.rows());
+        EXPECT_TRUE(seen.insert(r).second) << "duplicate row " << r;
+    }
+    EXPECT_EQ(static_cast<int64_t>(seen.size()), plan.rows());
+}
+
+TEST_P(FragmentPlanTest, FragmentsPartitionRows)
+{
+    auto [policy, frag] = GetParam();
+    FragmentPlan plan = FragmentPlan::forConv(4, 3, 3, frag, policy);
+    std::set<int64_t> covered;
+    int64_t total = 0;
+    for (int64_t f = 0; f < plan.fragmentsPerCol(); ++f) {
+        const auto rows = plan.fragmentRowIndices(f);
+        EXPECT_LE(static_cast<int>(rows.size()), frag);
+        if (f < plan.fragmentsPerCol() - 1)
+            EXPECT_EQ(static_cast<int>(rows.size()), frag);
+        for (int64_t r : rows)
+            EXPECT_TRUE(covered.insert(r).second);
+        total += static_cast<int64_t>(rows.size());
+    }
+    EXPECT_EQ(total, plan.rows());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndSizes, FragmentPlanTest,
+    ::testing::Combine(
+        ::testing::Values(PolarizationPolicy::WMajor,
+                          PolarizationPolicy::HMajor,
+                          PolarizationPolicy::CMajor),
+        ::testing::Values(1, 3, 4, 8, 16)));
+
+TEST(FragmentPlan, WMajorMatchesNaturalOrder)
+{
+    FragmentPlan plan = FragmentPlan::forConv(
+        2, 3, 3, 4, PolarizationPolicy::WMajor);
+    for (int64_t p = 0; p < plan.rows(); ++p)
+        EXPECT_EQ(plan.orderedRow(p), p);
+}
+
+TEST(FragmentPlan, CMajorGroupsChannels)
+{
+    // C-major: the first cin entries are position (h=0, w=0) across
+    // channels, i.e. natural rows 0, k*k, 2*k*k, ...
+    const int64_t cin = 4, k = 3;
+    FragmentPlan plan = FragmentPlan::forConv(
+        2, cin, k, 4, PolarizationPolicy::CMajor);
+    for (int64_t c = 0; c < cin; ++c)
+        EXPECT_EQ(plan.orderedRow(c), c * k * k);
+}
+
+TEST(FragmentPlan, HMajorSwapsHAndW)
+{
+    const int64_t cin = 1, k = 3;
+    FragmentPlan plan = FragmentPlan::forConv(
+        2, cin, k, 3, PolarizationPolicy::HMajor);
+    // H-major ordering for c=0: (w=0,h=0..2) -> natural rows 0, 3, 6.
+    EXPECT_EQ(plan.orderedRow(0), 0);
+    EXPECT_EQ(plan.orderedRow(1), 3);
+    EXPECT_EQ(plan.orderedRow(2), 6);
+}
+
+TEST(FragmentPlan, DensePlan)
+{
+    FragmentPlan plan = FragmentPlan::forDense(10, 25, 8);
+    EXPECT_EQ(plan.rows(), 25);
+    EXPECT_EQ(plan.cols(), 10);
+    EXPECT_EQ(plan.fragmentsPerCol(), 4);   // ceil(25/8)
+    EXPECT_EQ(plan.fragmentRows(3), 1);     // tail fragment
+}
+
+TEST(FragmentPlan, RestrictedToRowsPreservesOrder)
+{
+    FragmentPlan plan = FragmentPlan::forConv(
+        2, 2, 3, 4, PolarizationPolicy::CMajor);
+    std::vector<uint8_t> kept(static_cast<size_t>(plan.rows()), 1);
+    kept[3] = 0;
+    kept[7] = 0;
+    kept[11] = 0;
+    FragmentPlan sub = plan.restrictedToRows(kept);
+    EXPECT_EQ(sub.rows(), plan.rows() - 3);
+    // Survivors appear in the same relative order as in the original.
+    int64_t prev_pos = -1;
+    for (int64_t p = 0; p < sub.rows(); ++p) {
+        const int64_t nat = sub.orderedRow(p);
+        EXPECT_TRUE(kept[static_cast<size_t>(nat)]);
+        int64_t pos_in_orig = -1;
+        for (int64_t q = 0; q < plan.rows(); ++q)
+            if (plan.orderedRow(q) == nat) {
+                pos_in_orig = q;
+                break;
+            }
+        EXPECT_GT(pos_in_orig, prev_pos);
+        prev_pos = pos_in_orig;
+    }
+}
+
+TEST(SignMap, StoreAndRetrieve)
+{
+    SignMap m(3, 4);
+    m.set(2, 3, -1);
+    m.set(0, 0, -1);
+    EXPECT_EQ(m.get(2, 3), -1);
+    EXPECT_EQ(m.get(0, 0), -1);
+    EXPECT_EQ(m.get(1, 1), 1);
+    EXPECT_EQ(m.countPositive(), 10);
+}
+
+TEST(WeightView, ConvViewMatchesTensorLayout)
+{
+    Tensor w({2, 3, 3, 3});
+    for (int64_t i = 0; i < w.numel(); ++i)
+        w.at(i) = static_cast<float>(i);
+    WeightView v = WeightView::conv(w);
+    EXPECT_EQ(v.rows(), 27);
+    EXPECT_EQ(v.cols(), 2);
+    // H(r, j) = w[j][c][h][w] with r = c*9 + h*3 + w.
+    EXPECT_FLOAT_EQ(v.get(0, 0), w.at(0, 0, 0, 0));
+    EXPECT_FLOAT_EQ(v.get(13, 1), w.at(1, 1, 1, 1));
+    v.set(13, 1, -7.0f);
+    EXPECT_FLOAT_EQ(w.at(1, 1, 1, 1), -7.0f);
+}
+
+TEST(WeightView, DenseViewMatchesTensorLayout)
+{
+    Tensor w({4, 6});
+    for (int64_t i = 0; i < w.numel(); ++i)
+        w.at(i) = static_cast<float>(i);
+    WeightView v = WeightView::dense(w);
+    EXPECT_EQ(v.rows(), 6);
+    EXPECT_EQ(v.cols(), 4);
+    EXPECT_FLOAT_EQ(v.get(5, 2), w.at(2, 5));
+}
+
+} // namespace
+} // namespace forms::admm

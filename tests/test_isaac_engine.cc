@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the ISAAC offset-encoding engine: the popcount fixup must
+ * reconstruct signed dot products exactly, the baseline must never
+ * skip cycles, and its fixup overhead must be visible in the stats —
+ * the costs FORMS's polarization removes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/isaac_engine.hh"
+#include "common/rng.hh"
+
+namespace forms::arch {
+namespace {
+
+std::vector<std::vector<int32_t>>
+randomSignedWeights(int rows, int cols, int bits, uint64_t seed)
+{
+    Rng rng(seed);
+    const int32_t lo = -(1 << (bits - 1));
+    const int32_t hi = (1 << (bits - 1)) - 1;
+    std::vector<std::vector<int32_t>> w(
+        static_cast<size_t>(rows),
+        std::vector<int32_t>(static_cast<size_t>(cols)));
+    for (auto &row : w)
+        for (auto &v : row)
+            v = lo + static_cast<int32_t>(
+                    rng.below(static_cast<uint64_t>(hi - lo + 1)));
+    return w;
+}
+
+std::vector<uint32_t>
+randomInputs(int n, int bits, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint32_t> v(static_cast<size_t>(n));
+    for (auto &x : v)
+        x = static_cast<uint32_t>(rng.below(1u << bits));
+    return v;
+}
+
+class IsaacEngineTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(IsaacEngineTest, OffsetFixupIsExact)
+{
+    const int rows = GetParam();
+    IsaacConfig cfg;
+    cfg.inputBits = 12;
+    auto weights = randomSignedWeights(rows, 12, cfg.weightBits,
+                                       50 + rows);
+    IsaacEngine engine(weights, cfg);
+    auto inputs = randomInputs(rows, cfg.inputBits, 7);
+    auto got = engine.mvm(inputs);
+    auto expect = engine.reference(inputs);
+    ASSERT_EQ(got.size(), expect.size());
+    for (size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i], expect[i]) << "col " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(RowCounts, IsaacEngineTest,
+                         ::testing::Values(4, 16, 64, 128));
+
+TEST(IsaacEngine, NegativeWeightsHandled)
+{
+    IsaacConfig cfg;
+    cfg.inputBits = 8;
+    std::vector<std::vector<int32_t>> w = {
+        {-128, 127}, {-1, 1}, {0, -64}};
+    IsaacEngine engine(w, cfg);
+    std::vector<uint32_t> in = {255, 3, 100};
+    auto got = engine.mvm(in);
+    EXPECT_EQ(got[0], -128 * 255 - 1 * 3 + 0);
+    EXPECT_EQ(got[1], 127 * 255 + 1 * 3 - 64 * 100);
+}
+
+TEST(IsaacEngine, NeverSkipsCycles)
+{
+    // Even all-zero inputs burn the full bit budget — the baseline has
+    // no zero-skipping (the FORMS engine would take 0 cycles here).
+    IsaacConfig cfg;
+    cfg.inputBits = 16;
+    auto weights = randomSignedWeights(8, 4, cfg.weightBits, 3);
+    IsaacEngine engine(weights, cfg);
+    std::vector<uint32_t> zeros(8, 0);
+    IsaacStats stats;
+    auto out = engine.mvm(zeros, &stats);
+    EXPECT_EQ(stats.bitCycles, 16u);
+    for (int64_t v : out)
+        EXPECT_EQ(v, 0);
+}
+
+TEST(IsaacEngine, FixupOverheadAccounted)
+{
+    IsaacConfig cfg;
+    cfg.inputBits = 16;
+    auto weights = randomSignedWeights(16, 8, cfg.weightBits, 5);
+    IsaacEngine engine(weights, cfg);
+    auto inputs = randomInputs(16, 16, 9);
+    IsaacStats stats;
+    engine.mvm(inputs, &stats);
+    // One bias subtraction per column per bit cycle.
+    EXPECT_EQ(stats.biasSubtractions, 16u * 8u);
+    EXPECT_EQ(stats.adcSamples,
+              16u * 8u * static_cast<unsigned>(cfg.cellsPerWeight()));
+    EXPECT_GT(stats.adcEnergyPj, 0.0);
+}
+
+TEST(IsaacEngine, RejectsOutOfRangeWeights)
+{
+    IsaacConfig cfg;
+    std::vector<std::vector<int32_t>> w = {{300}};
+    EXPECT_DEATH(IsaacEngine(w, cfg), "");
+}
+
+} // namespace
+} // namespace forms::arch

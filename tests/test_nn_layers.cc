@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Gradient checks (central finite differences) and shape tests for the
+ * DNN substrate layers, including the residual composite block.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.hh"
+#include "nn/network.hh"
+
+namespace forms::nn {
+namespace {
+
+/**
+ * Numerically check d(loss)/d(param) for a layer embedded in a tiny
+ * network where loss = sum(forward(x)). Returns max relative error.
+ */
+double
+checkParamGradient(Layer &layer, const Tensor &input, Tensor &param,
+                   Tensor &grad, int probes, Rng &rng)
+{
+    // Analytic gradient: backward with ones.
+    layer.zeroGrads();
+    Tensor out = layer.forward(input, true);
+    Tensor ones(out.shape(), 1.0f);
+    layer.backward(ones);
+
+    double worst = 0.0;
+    const float eps = 1e-2f;
+    for (int p = 0; p < probes; ++p) {
+        const int64_t i =
+            static_cast<int64_t>(rng.below(
+                static_cast<uint64_t>(param.numel())));
+        const float saved = param.at(i);
+        // Probe in train mode so BatchNorm keeps using batch statistics
+        // (the analytic gradient is w.r.t. the train-mode function).
+        param.at(i) = saved + eps;
+        const double up = layer.forward(input, true).sum();
+        param.at(i) = saved - eps;
+        const double dn = layer.forward(input, true).sum();
+        param.at(i) = saved;
+        const double numeric = (up - dn) / (2.0 * eps);
+        const double analytic = grad.at(i);
+        const double scale =
+            std::max({1.0, std::fabs(numeric), std::fabs(analytic)});
+        worst = std::max(worst,
+                         std::fabs(numeric - analytic) / scale);
+    }
+    return worst;
+}
+
+/** Same, for the input gradient. */
+double
+checkInputGradient(Layer &layer, Tensor input, int probes, Rng &rng)
+{
+    layer.zeroGrads();
+    Tensor out = layer.forward(input, true);
+    Tensor ones(out.shape(), 1.0f);
+    Tensor gin = layer.backward(ones);
+
+    double worst = 0.0;
+    const float eps = 1e-2f;
+    for (int p = 0; p < probes; ++p) {
+        const int64_t i =
+            static_cast<int64_t>(rng.below(
+                static_cast<uint64_t>(input.numel())));
+        const float saved = input.at(i);
+        input.at(i) = saved + eps;
+        const double up = layer.forward(input, true).sum();
+        input.at(i) = saved - eps;
+        const double dn = layer.forward(input, true).sum();
+        input.at(i) = saved;
+        const double numeric = (up - dn) / (2.0 * eps);
+        const double analytic = gin.at(i);
+        const double scale =
+            std::max({1.0, std::fabs(numeric), std::fabs(analytic)});
+        worst = std::max(worst,
+                         std::fabs(numeric - analytic) / scale);
+    }
+    return worst;
+}
+
+TEST(DenseLayer, ForwardShape)
+{
+    Rng rng(1);
+    Dense d("d", 6, 4, rng);
+    Tensor x({3, 6});
+    x.fillGaussian(rng, 0.0f, 1.0f);
+    Tensor y = d.forward(x, false);
+    EXPECT_EQ(y.dim(0), 3);
+    EXPECT_EQ(y.dim(1), 4);
+}
+
+TEST(DenseLayer, WeightGradient)
+{
+    Rng rng(2);
+    Dense d("d", 5, 3, rng);
+    Tensor x({4, 5});
+    x.fillGaussian(rng, 0.0f, 1.0f);
+    auto params = d.params();
+    EXPECT_LT(checkParamGradient(d, x, *params[0].value,
+                                 *params[0].grad, 20, rng), 1e-2);
+}
+
+TEST(DenseLayer, BiasGradient)
+{
+    Rng rng(3);
+    Dense d("d", 5, 3, rng);
+    Tensor x({4, 5});
+    x.fillGaussian(rng, 0.0f, 1.0f);
+    auto params = d.params();
+    EXPECT_LT(checkParamGradient(d, x, *params[1].value,
+                                 *params[1].grad, 3, rng), 1e-2);
+}
+
+TEST(DenseLayer, InputGradient)
+{
+    Rng rng(4);
+    Dense d("d", 5, 3, rng);
+    Tensor x({2, 5});
+    x.fillGaussian(rng, 0.0f, 1.0f);
+    EXPECT_LT(checkInputGradient(d, x, 10, rng), 1e-2);
+}
+
+TEST(Conv2DLayer, ForwardShape)
+{
+    Rng rng(5);
+    Conv2D c("c", 3, 8, 3, 2, 1, rng);
+    Tensor x({2, 3, 8, 8});
+    x.fillGaussian(rng, 0.0f, 1.0f);
+    Tensor y = c.forward(x, false);
+    EXPECT_EQ(y.dim(1), 8);
+    EXPECT_EQ(y.dim(2), 4);
+    EXPECT_EQ(y.dim(3), 4);
+}
+
+TEST(Conv2DLayer, WeightGradient)
+{
+    Rng rng(6);
+    Conv2D c("c", 2, 3, 3, 1, 1, rng);
+    Tensor x({2, 2, 5, 5});
+    x.fillGaussian(rng, 0.0f, 1.0f);
+    auto params = c.params();
+    EXPECT_LT(checkParamGradient(c, x, *params[0].value,
+                                 *params[0].grad, 20, rng), 1e-2);
+}
+
+TEST(Conv2DLayer, InputGradient)
+{
+    Rng rng(7);
+    Conv2D c("c", 2, 3, 3, 2, 1, rng);
+    Tensor x({1, 2, 6, 6});
+    x.fillGaussian(rng, 0.0f, 1.0f);
+    EXPECT_LT(checkInputGradient(c, x, 15, rng), 1e-2);
+}
+
+TEST(BatchNormLayer, NormalizesBatch)
+{
+    Rng rng(8);
+    BatchNorm2D bn("bn", 4);
+    Tensor x({8, 4, 3, 3});
+    x.fillGaussian(rng, 5.0f, 2.0f);
+    Tensor y = bn.forward(x, true);
+    // Per-channel mean ~0, variance ~1 in training mode.
+    for (int c = 0; c < 4; ++c) {
+        double mean = 0.0, var = 0.0;
+        int n = 0;
+        for (int img = 0; img < 8; ++img)
+            for (int s = 0; s < 9; ++s) {
+                const float v = y.data()[(img * 4 + c) * 9 + s];
+                mean += v;
+                ++n;
+            }
+        mean /= n;
+        for (int img = 0; img < 8; ++img)
+            for (int s = 0; s < 9; ++s) {
+                const double d =
+                    y.data()[(img * 4 + c) * 9 + s] - mean;
+                var += d * d;
+            }
+        var /= n;
+        EXPECT_NEAR(mean, 0.0, 1e-4);
+        EXPECT_NEAR(var, 1.0, 1e-2);
+    }
+}
+
+TEST(BatchNormLayer, GammaGradient)
+{
+    Rng rng(9);
+    BatchNorm2D bn("bn", 3);
+    Tensor x({4, 3, 2, 2});
+    x.fillGaussian(rng, 1.0f, 2.0f);
+    auto params = bn.params();
+    EXPECT_LT(checkParamGradient(bn, x, *params[0].value,
+                                 *params[0].grad, 3, rng), 2e-2);
+}
+
+TEST(BatchNormLayer, EvalUsesRunningStats)
+{
+    Rng rng(10);
+    BatchNorm2D bn("bn", 2);
+    Tensor x({16, 2, 2, 2});
+    x.fillGaussian(rng, 3.0f, 1.5f);
+    for (int i = 0; i < 50; ++i)
+        bn.forward(x, true);
+    Tensor y = bn.forward(x, false);
+    // In eval mode output should be close to the train-mode output.
+    Tensor yt = bn.forward(x, true);
+    double diff = 0.0;
+    for (int64_t i = 0; i < y.numel(); ++i)
+        diff = std::max<double>(diff, std::fabs(y.at(i) - yt.at(i)));
+    EXPECT_LT(diff, 0.2);
+}
+
+TEST(ResidualBlockLayer, ForwardShapeWithProjection)
+{
+    Rng rng(11);
+    ResidualBlock b("b", 4, 8, 2, rng);
+    Tensor x({2, 4, 8, 8});
+    x.fillGaussian(rng, 0.0f, 1.0f);
+    Tensor y = b.forward(x, false);
+    EXPECT_EQ(y.dim(1), 8);
+    EXPECT_EQ(y.dim(2), 4);
+}
+
+TEST(ResidualBlockLayer, IdentityShape)
+{
+    Rng rng(12);
+    ResidualBlock b("b", 4, 4, 1, rng);
+    Tensor x({1, 4, 6, 6});
+    x.fillGaussian(rng, 0.0f, 1.0f);
+    Tensor y = b.forward(x, false);
+    EXPECT_EQ(y.shape(), x.shape());
+}
+
+TEST(ResidualBlockLayer, ParamsIncludeBothPaths)
+{
+    Rng rng(13);
+    ResidualBlock b("b", 4, 8, 2, rng);
+    // conv1/bn1/conv2/bn2 (4x2 params) + proj conv/bn (2x2) = 12.
+    EXPECT_EQ(b.params().size(), 12u);
+}
+
+TEST(NetworkContainer, CrossEntropyGradient)
+{
+    Rng rng(14);
+    Tensor logits({3, 5});
+    logits.fillGaussian(rng, 0.0f, 1.0f);
+    std::vector<int> labels = {1, 4, 0};
+    Tensor grad;
+    const double loss = Network::crossEntropy(logits, labels, &grad);
+    EXPECT_GT(loss, 0.0);
+
+    const float eps = 1e-3f;
+    for (int probe = 0; probe < 8; ++probe) {
+        const int64_t i = static_cast<int64_t>(rng.below(15));
+        const float saved = logits.at(i);
+        logits.at(i) = saved + eps;
+        const double up = Network::crossEntropy(logits, labels, nullptr);
+        logits.at(i) = saved - eps;
+        const double dn = Network::crossEntropy(logits, labels, nullptr);
+        logits.at(i) = saved;
+        EXPECT_NEAR((up - dn) / (2 * eps), grad.at(i), 1e-3);
+    }
+}
+
+} // namespace
+} // namespace forms::nn

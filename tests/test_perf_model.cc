@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the analytic performance model: per-layer crossbar math,
+ * and the paper's qualitative orderings — compression speeds ISAAC up
+ * by one to two orders of magnitude, zero-skip lifts FORMS above the
+ * no-skip variant, coarser fragments run faster without skipping, and
+ * calibrated FORMS-with-skip beats Pruned/Quantized ISAAC.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/perf_model.hh"
+
+namespace forms::sim {
+namespace {
+
+class PerfFixture : public ::testing::Test
+{
+  protected:
+    PerfModel model;
+    Workload vgg = vgg16Cifar();
+    CompressionProfile profile{"vgg16-c100", 8.15, 8};
+};
+
+TEST_F(PerfFixture, LayerCrossbarCountClosedForm)
+{
+    ArchModel isaac = ArchModel::isaac16();
+    LayerSpec l;
+    l.conv = true;
+    l.inC = 64;
+    l.outC = 128;
+    l.kernel = 3;
+    l.inH = 32;
+    l.inW = 32;
+    l.pad = 1;
+    LayerPerf lp = model.layerPerf(isaac, l, nullptr);
+    // rows 576 -> 5 grids; cols 128 * 8 cells = 1024 -> 8 grids.
+    EXPECT_EQ(lp.crossbars, 5 * 8);
+    EXPECT_EQ(lp.presentations, 32 * 32);
+}
+
+TEST_F(PerfFixture, IsaacTauMatchesPaperCycleTime)
+{
+    // ISAAC: 128 columns on one 1.2 GHz ADC per input bit = 106.6 ns;
+    // 16 input bits -> ~1706 ns per presentation.
+    ArchModel isaac = ArchModel::isaac16();
+    LayerSpec l = vgg.layers[3];
+    LayerPerf lp = model.layerPerf(isaac, l, nullptr);
+    EXPECT_NEAR(lp.tauNs, 16.0 * 128.0 / 1.2, 1.0);
+}
+
+TEST_F(PerfFixture, FormsAdcSlotMatchesPaper)
+{
+    // FORMS: 4 ADCs cover 128 columns at 2.1 GHz -> 15.2 ns per
+    // (fragment, bit) step (paper §IV-C's 15 ns figure).
+    ArchModel forms = ArchModel::formsFull(8, true);
+    const double slot = (128.0 / forms.adcsPerCrossbar) / forms.adcFreqGhz;
+    EXPECT_NEAR(slot, 15.2, 0.3);
+}
+
+TEST_F(PerfFixture, CompressionGivesOrderOfMagnitude)
+{
+    // Paper: pruning/quantization speeds ISAAC up by 7.5x-200x.
+    ArchModel base = ArchModel::isaac32();
+    ArchModel pq = ArchModel::isaacPrunedQuantized();
+    const double fps_base =
+        model.evaluate(base, vgg, &profile).fpsRaw;
+    const double fps_pq = model.evaluate(pq, vgg, &profile).fpsRaw;
+    const double speedup = fps_pq / fps_base;
+    EXPECT_GT(speedup, 7.5);
+    EXPECT_LT(speedup, 210.0);
+}
+
+TEST_F(PerfFixture, ZeroSkipLiftsForms)
+{
+    ArchModel skip = ArchModel::formsFull(8, true);
+    ArchModel noskip = ArchModel::formsFull(8, false);
+    const double f_skip = model.evaluate(skip, vgg, &profile).fpsRaw;
+    const double f_noskip =
+        model.evaluate(noskip, vgg, &profile).fpsRaw;
+    EXPECT_GT(f_skip, f_noskip);
+    // The raw gain is bounded by 16 / EIC.
+    EXPECT_LT(f_skip / f_noskip, 16.0 / 10.0);
+}
+
+TEST_F(PerfFixture, CoarserFragmentsFasterWithoutSkip)
+{
+    // Without zero-skip, fragment 16 halves the row groups vs 8
+    // (paper Figs. 13/14: FORMS-16 no-skip > FORMS-8 no-skip).
+    ArchModel f8 = ArchModel::formsFull(8, false);
+    ArchModel f16 = ArchModel::formsFull(16, false);
+    // Compare raw physics at equal calibration.
+    f8.calibration = f16.calibration = 1.0;
+    EXPECT_GT(model.evaluate(f16, vgg, &profile).fpsRaw /
+                  model.evaluate(f8, vgg, &profile).fpsRaw,
+              1.0);
+}
+
+TEST_F(PerfFixture, CalibratedFormsBeatsPrunedIsaac)
+{
+    // The paper's headline (abstract): 1.12x-2.4x FPS over optimized
+    // ISAAC at almost the same power/area.
+    ArchModel forms = ArchModel::formsFull(8, true);
+    ArchModel pq = ArchModel::isaacPrunedQuantized();
+    for (const auto &c : figure14Cases()) {
+        const double r =
+            model.evaluate(forms, c.workload, &c.profile).fps /
+            model.evaluate(pq, c.workload, &c.profile).fps;
+        EXPECT_GT(r, 1.0) << c.label;
+        EXPECT_LT(r, 3.0) << c.label;
+    }
+}
+
+TEST_F(PerfFixture, PumaPaysForSplitting)
+{
+    // Dual crossbars double n_l: PQ-PUMA below PQ-ISAAC (Table V).
+    ArchModel puma = ArchModel::pumaPrunedQuantized();
+    ArchModel isaac = ArchModel::isaacPrunedQuantized();
+    puma.calibration = isaac.calibration = 1.0;
+    EXPECT_LT(model.evaluate(puma, vgg, &profile).fpsRaw,
+              model.evaluate(isaac, vgg, &profile).fpsRaw);
+}
+
+TEST_F(PerfFixture, EffectiveBitsHonoursZeroSkip)
+{
+    ArchModel forms = ArchModel::formsFull(8, true);
+    ArchModel noskip = ArchModel::formsFull(8, false);
+    EXPECT_LT(model.effectiveBitsFor(forms), 16.0);
+    EXPECT_DOUBLE_EQ(model.effectiveBitsFor(noskip), 16.0);
+}
+
+TEST_F(PerfFixture, Isaac32NeedsMostCrossbars)
+{
+    ArchModel b32 = ArchModel::isaac32();
+    ArchModel b16 = ArchModel::isaac16();
+    LayerSpec l = vgg.layers[5];
+    EXPECT_GT(model.layerPerf(b32, l, nullptr).crossbars,
+              model.layerPerf(b16, l, nullptr).crossbars);
+}
+
+TEST_F(PerfFixture, AreaPowerPopulated)
+{
+    for (const ArchModel &a :
+         {ArchModel::isaac16(), ArchModel::puma16(),
+          ArchModel::formsFull(8, true),
+          ArchModel::formsPolarizationOnly(16)}) {
+        EXPECT_GT(a.chipPowerMw, 0.0) << a.name;
+        EXPECT_GT(a.chipAreaMm2, 0.0) << a.name;
+    }
+    auto res = model.evaluate(ArchModel::isaac16(), vgg, nullptr);
+    EXPECT_GT(res.gopsPerMm2, 0.0);
+    EXPECT_GT(res.gopsPerW, 0.0);
+}
+
+TEST_F(PerfFixture, ReferencePointsPresent)
+{
+    auto refs = tableVReferencePoints();
+    EXPECT_EQ(refs.size(), 4u);
+    EXPECT_EQ(refs[0].name, "DaDianNao");
+}
+
+TEST_F(PerfFixture, TableVOrderingFormsFullOnTop)
+{
+    // Table V shape: FORMS full > PQ-ISAAC > everything uncompressed.
+    // Use the heavily-compressible CIFAR-10 VGG16 case (41.2x prune).
+    const Workload net = vgg16Cifar();
+    const CompressionProfile p{"vgg16-c10", 41.2, 8};
+    const double isaac =
+        model.evaluate(ArchModel::isaac16(), net, &p).gopsPerMm2;
+    const double pq = model
+        .evaluate(ArchModel::isaacPrunedQuantized(), net, &p).gopsPerMm2;
+    const double forms16 = model
+        .evaluate(ArchModel::formsFull(16, true), net, &p).gopsPerMm2;
+    EXPECT_GT(pq / isaac, 10.0);
+    EXPECT_GT(forms16, pq);
+}
+
+} // namespace
+} // namespace forms::sim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Tests for the pipeline timing model (paper Figure 12): depth
+ * accounting with and without pooling, initiation-interval scaling,
+ * and zero-skip shortening the streaming phase.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/pipeline.hh"
+
+namespace forms::arch {
+namespace {
+
+TEST(Pipeline, FillTimeIsDepth)
+{
+    PipelineConfig cfg;
+    cfg.cycleNs = 15.0;
+    auto t = layerPipelineTiming(cfg, 1, 16.0, false);
+    EXPECT_DOUBLE_EQ(t.fillNs, 22.0 * 15.0);
+    EXPECT_DOUBLE_EQ(t.streamNs, 0.0);
+}
+
+TEST(Pipeline, PoolingAddsFourStages)
+{
+    PipelineConfig cfg;
+    auto plain = layerPipelineTiming(cfg, 1, 16.0, false);
+    auto pooled = layerPipelineTiming(cfg, 1, 16.0, true);
+    EXPECT_DOUBLE_EQ(pooled.fillNs - plain.fillNs, 4.0 * cfg.cycleNs);
+}
+
+TEST(Pipeline, SteadyStateScalesWithPresentations)
+{
+    PipelineConfig cfg;
+    auto t1k = layerPipelineTiming(cfg, 1001, 16.0, false);
+    auto t2k = layerPipelineTiming(cfg, 2001, 16.0, false);
+    EXPECT_NEAR(t2k.streamNs / t1k.streamNs, 2.0, 0.01);
+}
+
+TEST(Pipeline, ZeroSkipShortensInitiationInterval)
+{
+    PipelineConfig cfg;
+    auto full = layerPipelineTiming(cfg, 1000, 16.0, false);
+    auto skipped = layerPipelineTiming(cfg, 1000, 10.7, false);
+    EXPECT_LT(skipped.totalNs, full.totalNs);
+    EXPECT_NEAR(full.streamNs / skipped.streamNs, 16.0 / 10.7, 0.01);
+}
+
+TEST(Pipeline, MinimumIntervalIsOneCycle)
+{
+    PipelineConfig cfg;
+    auto t = layerPipelineTiming(cfg, 10, 0.0, false);
+    EXPECT_DOUBLE_EQ(t.streamNs, 9.0 * cfg.cycleNs);
+}
+
+TEST(Pipeline, CycleCountConsistent)
+{
+    PipelineConfig cfg;
+    cfg.cycleNs = 10.0;
+    auto t = layerPipelineTiming(cfg, 5, 4.0, false);
+    EXPECT_EQ(t.cycles,
+              static_cast<uint64_t>(std::llround(t.totalNs / 10.0)));
+}
+
+} // namespace
+} // namespace forms::arch

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the tile/chip allocator: crossbar/MCU/tile accounting,
+ * balanced-pipeline replication, budget checks, and the FORMS-vs-ISAAC
+ * organization differences the paper lists (eDRAM, bus, cycle time).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/tile.hh"
+
+namespace forms::arch {
+namespace {
+
+std::vector<LayerDemand>
+toyNetwork()
+{
+    return {
+        {"conv1", 4, 1024, 16384, 16.0 * 12.0, true},
+        {"conv2", 8, 256, 8192, 16.0 * 12.0, false},
+        {"fc", 2, 1, 100, 16.0 * 12.0, false},
+    };
+}
+
+TEST(ChipAllocator, AccountsUnits)
+{
+    ChipOrg org = formsChipOrg();
+    auto alloc = allocateChip(org, toyNetwork());
+    ASSERT_EQ(alloc.layers.size(), 3u);
+    EXPECT_TRUE(alloc.fits);
+    EXPECT_GT(alloc.crossbarsUsed, 0);
+    EXPECT_GE(alloc.mcusUsed, alloc.layers.size());
+    EXPECT_GE(alloc.tilesUsed, 1);
+    EXPECT_GT(alloc.framesPerSecond, 0.0);
+}
+
+TEST(ChipAllocator, ReplicationFavoursHeavyLayers)
+{
+    ChipOrg org = formsChipOrg();
+    auto alloc = allocateChip(org, toyNetwork());
+    // conv1 carries most of the work (most presentations) so it must
+    // receive at least as many replicas as the single-shot fc layer.
+    EXPECT_GE(alloc.layers[0].replicas, alloc.layers[2].replicas);
+}
+
+TEST(ChipAllocator, BudgetRespectedOrFlagged)
+{
+    ChipOrg org = formsChipOrg();
+    org.tiles = 1;   // shrink the chip drastically
+    std::vector<LayerDemand> huge = {
+        {"big", 200, 100000, 1000, 256.0, false}};
+    auto alloc = allocateChip(org, huge);
+    EXPECT_FALSE(alloc.fits);
+}
+
+TEST(ChipAllocator, LatencyDropsWithMoreReplicas)
+{
+    ChipOrg small = formsChipOrg();
+    small.tiles = 2;
+    ChipOrg big = formsChipOrg();
+    auto a_small = allocateChip(small, toyNetwork());
+    auto a_big = allocateChip(big, toyNetwork());
+    EXPECT_LE(a_big.frameLatencyNs, a_small.frameLatencyNs);
+}
+
+TEST(ChipAllocator, OrganizationsMatchPaper)
+{
+    ChipOrg forms = formsChipOrg();
+    ChipOrg isaac = isaacChipOrg();
+    EXPECT_DOUBLE_EQ(forms.edramKb, 128.0);
+    EXPECT_DOUBLE_EQ(isaac.edramKb, 64.0);
+    EXPECT_DOUBLE_EQ(forms.busBits, 512.0);
+    EXPECT_DOUBLE_EQ(isaac.busBits, 256.0);
+    EXPECT_LT(forms.pipeline.cycleNs, isaac.pipeline.cycleNs);
+    EXPECT_EQ(forms.totalCrossbars(), 168LL * 12 * 8);
+}
+
+TEST(ChipAllocator, EdramTrafficAccumulates)
+{
+    ChipOrg org = formsChipOrg();
+    auto alloc = allocateChip(org, toyNetwork());
+    // 16-bit activations: (16384 + 8192 + 100) * 2 bytes.
+    EXPECT_NEAR(alloc.edramTrafficKb, (16384 + 8192 + 100) * 2.0 / 1024.0,
+                1e-6);
+}
+
+} // namespace
+} // namespace forms::arch

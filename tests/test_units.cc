@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Tests for the unit helpers and a few numeric conventions the cost
+ * models rely on (mW * ns = pJ, cycle time from GHz).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+
+namespace forms {
+namespace {
+
+TEST(Units, FrequencyHelpers)
+{
+    EXPECT_DOUBLE_EQ(GHz(1.2), 1.2);
+    EXPECT_DOUBLE_EQ(MHz(1200.0), 1.2);
+    EXPECT_DOUBLE_EQ(cycleNs(2.0), 0.5);
+}
+
+TEST(Units, TimeHelpers)
+{
+    EXPECT_DOUBLE_EQ(ns(15.0), 15.0);
+    EXPECT_DOUBLE_EQ(us(1.5), 1500.0);
+}
+
+TEST(Units, PowerAndEnergy)
+{
+    EXPECT_DOUBLE_EQ(W(2.0), 2000.0);
+    EXPECT_DOUBLE_EQ(mW(3.0), 3.0);
+    // 2 mW over 10 ns = 20 pJ.
+    EXPECT_DOUBLE_EQ(energyPj(2.0, 10.0), 20.0);
+}
+
+TEST(Units, AdcSampleEnergyConvention)
+{
+    // A 0.475 mW ADC at 2.1 GHz burns ~0.226 pJ per conversion — the
+    // convention used throughout the engine stats.
+    const double power = 0.475;
+    const double t = cycleNs(2.1);
+    EXPECT_NEAR(energyPj(power, t), 0.226, 0.001);
+}
+
+} // namespace
+} // namespace forms
