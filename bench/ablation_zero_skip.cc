@@ -50,14 +50,15 @@ engineRun(int frag, bool skip, uint64_t seed)
     ecfg.zeroSkip = skip;
     arch::CrossbarEngine engine(mapped, ecfg);
 
-    // Realistic activations from the calibrated model.
+    // Realistic activations from the calibrated model, streamed
+    // through the batched engine (bit-identical to a serial loop).
     ActivationModel act = ActivationModel::calibratedResNet50();
     Rng arng(seed + 1);
+    std::vector<std::vector<uint32_t>> batch;
+    for (int pres = 0; pres < 16; ++pres)
+        batch.push_back(act.sampleVector(arng, 16 * 9));
     arch::EngineStats stats;
-    for (int pres = 0; pres < 16; ++pres) {
-        auto inputs = act.sampleVector(arng, 16 * 9);
-        engine.mvm(inputs, &stats);
-    }
+    engine.mvmBatch(batch, &stats);
     return stats;
 }
 

@@ -69,6 +69,26 @@ BM_CrossbarMvm(benchmark::State &state)
 }
 
 void
+BM_CrossbarMvmBatch(benchmark::State &state)
+{
+    const int frag = 8;
+    const int presentations = static_cast<int>(state.range(0));
+    arch::MappedLayer *layer = sharedLayer(frag);
+    arch::EngineConfig cfg;
+    arch::CrossbarEngine engine(*layer, cfg);
+    sim::ActivationModel act = sim::ActivationModel::calibratedResNet50();
+    Rng rng(2);
+    std::vector<std::vector<uint32_t>> batch;
+    for (int i = 0; i < presentations; ++i)
+        batch.push_back(act.sampleVector(rng, 16 * 9));
+    for (auto _ : state) {
+        auto out = engine.mvmBatch(batch);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() * presentations);
+}
+
+void
 BM_FragmentEic(benchmark::State &state)
 {
     Rng rng(3);
@@ -116,6 +136,8 @@ BM_AdcTransfer(benchmark::State &state)
 
 BENCHMARK(BM_CrossbarMvm)->Arg(4)->Arg(8)->Arg(16)
     ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CrossbarMvmBatch)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FragmentEic)->Arg(4)->Arg(128)
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_PolarizationProjection)->Unit(benchmark::kMillisecond);

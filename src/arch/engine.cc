@@ -52,30 +52,54 @@ CrossbarEngine::CrossbarEngine(const MappedLayer &layer, EngineConfig cfg)
         }
         arrays_.push_back(std::move(arr));
     }
-}
 
-std::vector<double>
-CrossbarEngine::mvm(const std::vector<uint32_t> &inputs,
-                    EngineStats *stats)
-{
-    int max_out = 0;
+    // Output extent and the ADC-limited per-step time of the slowest
+    // crossbar depend only on the mapping geometry: precompute once.
     for (const auto &xb : layer_.crossbars)
         for (int idx : xb.outputIndex)
-            max_out = std::max(max_out, idx + 1);
-    std::vector<double> out(static_cast<size_t>(max_out), 0.0);
+            outputExtent_ = std::max(outputExtent_, idx + 1);
+    const double sample_ns = adc_.sampleTimeNs();
+    for (const auto &xb : layer_.crossbars) {
+        const int cell_cols = xb.weightCols * cells;
+        const double per_step = std::ceil(
+            static_cast<double>(cell_cols) /
+            static_cast<double>(cfg_.adcsPerCrossbar)) * sample_ns;
+        worstStepNs_ = std::max(worstStepNs_, per_step);
+    }
+}
+
+uint64_t
+CrossbarEngine::presentationSeed(uint64_t seed, uint64_t index)
+{
+    // splitmix64 finalizer over a golden-ratio combination: adjacent
+    // indices land in statistically independent streams.
+    uint64_t x = seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+void
+CrossbarEngine::mvmOne(const std::vector<uint32_t> &inputs,
+                       uint64_t pres_index, std::vector<double> &out,
+                       EngineStats &stats) const
+{
+    out.assign(static_cast<size_t>(outputExtent_), 0.0);
 
     const int m = layer_.cfg.fragSize;
     const int cells = layer_.cfg.cellsPerWeight();
     const int in_bits = layer_.cfg.inputBits;
     const double sample_ns = adc_.sampleTimeNs();
     const double adc_epj = adc_.energyPerSamplePj();
+    const bool noisy_reads = cfg_.readNoiseSigma > 0.0;
+    Rng pres_rng(presentationSeed(cfg_.variationSeed, pres_index));
 
     EngineStats local;
     local.presentations = 1;
 
     for (size_t xi = 0; xi < layer_.crossbars.size(); ++xi) {
         const auto &xb = layer_.crossbars[xi];
-        auto &arr = arrays_[xi];
+        const auto &arr = arrays_[xi];
         const int cell_cols = xb.weightCols * cells;
 
         std::vector<uint8_t> row_bits(static_cast<size_t>(xb.rows), 0);
@@ -108,8 +132,12 @@ CrossbarEngine::mvm(const std::vector<uint32_t> &inputs,
                 local.crossbarEnergyPj +=
                     arr.readEnergyPj(rows_here, sample_ns);
                 for (int cc = 0; cc < cell_cols; ++cc) {
-                    const double analog =
+                    double analog =
                         arr.columnSum(cc, row_bits, r0, rows_here);
+                    if (noisy_reads) {
+                        analog *=
+                            pres_rng.lognormal(0.0, cfg_.readNoiseSigma);
+                    }
                     const int count = adc_.quantize(analog, fullScale_);
                     const double est = adc_.reconstruct(count, fullScale_);
                     acc[static_cast<size_t>(cc)] +=
@@ -140,24 +168,50 @@ CrossbarEngine::mvm(const std::vector<uint32_t> &inputs,
     // ADC-limited serial time: each (fragment, bit) step converts
     // cell_cols columns on adcsPerCrossbar parallel ADCs. Crossbars
     // operate in parallel, so charge the slowest one.
-    double worst_ns = 0.0;
-    for (const auto &xb : layer_.crossbars) {
-        const int cell_cols = xb.weightCols * cells;
-        const double per_step = std::ceil(
-            static_cast<double>(cell_cols) /
-            static_cast<double>(cfg_.adcsPerCrossbar)) * sample_ns;
-        // bit cycles for this crossbar were already tallied globally;
-        // approximate its share as frags * average eic — use the exact
-        // recount below instead.
-        (void)per_step;
-        worst_ns = std::max(worst_ns, per_step);
-    }
-    local.timeNs = worst_ns * static_cast<double>(local.bitCycles) /
+    local.timeNs = worstStepNs_ * static_cast<double>(local.bitCycles) /
         std::max<double>(1.0, static_cast<double>(layer_.crossbars.size()));
 
+    stats.merge(local);
+}
+
+std::vector<double>
+CrossbarEngine::mvm(const std::vector<uint32_t> &inputs,
+                    EngineStats *stats)
+{
+    // Semantically a batch of one — same presentation stream, same
+    // stats merge — without mvmBatch's batch-container scaffolding.
+    std::vector<double> out;
+    EngineStats local;
+    mvmOne(inputs, nextPresentation_++, out, local);
     if (stats)
         stats->merge(local);
     return out;
+}
+
+std::vector<std::vector<double>>
+CrossbarEngine::mvmBatch(const std::vector<std::vector<uint32_t>> &batch,
+                         EngineStats *stats, ThreadPool *pool)
+{
+    std::vector<std::vector<double>> outs(batch.size());
+    std::vector<EngineStats> per(batch.size());
+    const uint64_t base = nextPresentation_;
+    nextPresentation_ += batch.size();
+
+    ThreadPool &tp = pool ? *pool : ThreadPool::global();
+    tp.parallelFor(
+        0, static_cast<int64_t>(batch.size()), 1,
+        [&](int64_t i, int) {
+            const size_t s = static_cast<size_t>(i);
+            mvmOne(batch[s], base + static_cast<uint64_t>(i), outs[s],
+                   per[s]);
+        });
+
+    // Merge per-presentation stats in presentation order: identical
+    // floating-point accumulation order to the serial loop.
+    if (stats)
+        for (const auto &s : per)
+            stats->merge(s);
+    return outs;
 }
 
 std::vector<float>

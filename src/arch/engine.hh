@@ -18,6 +18,7 @@
 
 #include "arch/mapping.hh"
 #include "arch/zero_skip.hh"
+#include "common/threadpool.hh"
 #include "reram/adc.hh"
 #include "reram/crossbar.hh"
 
@@ -32,6 +33,16 @@ struct EngineConfig
     bool zeroSkip = true;
     reram::CellConfig cell;    //!< device model (variation etc.)
     uint64_t variationSeed = 99;
+
+    /**
+     * Transient read noise: multiplicative log-normal sigma applied to
+     * every analog column sum at read time (0 = noiseless reads).
+     * Unlike device variation (drawn once at program time), this is
+     * per-presentation randomness; its stream is keyed by
+     * (variationSeed, presentation index) so batched execution is
+     * bit-identical to serial regardless of thread count.
+     */
+    double readNoiseSigma = 0.0;
 };
 
 /** Execution statistics of one engine run. */
@@ -70,6 +81,9 @@ class CrossbarEngine
     /**
      * One matrix-vector product. `inputs` is indexed by the layer's
      * natural input indices and quantized to cfg.inputBits.
+     * Equivalent to mvmBatch() with a batch of one: it consumes the
+     * same presentation stream and merges stats the same way (both
+     * call the mvmOne() core), asserted by tests/test_runtime.cc.
      *
      * @return signed outputs in integer level units, indexed by the
      *         natural output index (same convention as referenceMvm).
@@ -77,18 +91,53 @@ class CrossbarEngine
     std::vector<double> mvm(const std::vector<uint32_t> &inputs,
                             EngineStats *stats = nullptr);
 
+    /**
+     * Batched matrix-vector products: run every presentation in
+     * `batch`, sharding them across `pool` (null = the process-wide
+     * pool). Per-presentation statistics are merged into `stats` in
+     * presentation order via EngineStats::merge, and each
+     * presentation's RNG stream is keyed by (variationSeed, global
+     * presentation index), so the outputs AND the merged stats are
+     * bit-identical to calling mvm() in a serial loop — for any
+     * thread count.
+     *
+     * Presentation indices are consecutive across calls on one
+     * engine (an engine-lifetime stream); see
+     * resetPresentationStream().
+     */
+    std::vector<std::vector<double>>
+    mvmBatch(const std::vector<std::vector<uint32_t>> &batch,
+             EngineStats *stats = nullptr, ThreadPool *pool = nullptr);
+
+    /** Restart the per-presentation RNG stream at index 0. */
+    void resetPresentationStream() { nextPresentation_ = 0; }
+
+    /** Mix (seed, presentation index) into one RNG stream seed. */
+    static uint64_t presentationSeed(uint64_t seed, uint64_t index);
+
     /** Effective ADC resolution in use (lossless when cfg was 0). */
     int adcBitsInUse() const { return adc_.config().bits; }
 
     const MappedLayer &layer() const { return layer_; }
 
   private:
+    /**
+     * Execute one presentation. Const and self-contained (all scratch
+     * is local, the programmed arrays are only read), so concurrent
+     * calls from pool workers are safe.
+     */
+    void mvmOne(const std::vector<uint32_t> &inputs, uint64_t pres_index,
+                std::vector<double> &out, EngineStats &stats) const;
+
     const MappedLayer &layer_;
     EngineConfig cfg_;
     reram::AdcModel adc_;
     double fullScale_;             //!< ADC full-scale in level units
     std::vector<reram::CrossbarArray> arrays_;
-    Rng rng_;
+    Rng rng_;                      //!< program-time variation source
+    int outputExtent_ = 0;         //!< 1 + max natural output index
+    double worstStepNs_ = 0.0;     //!< slowest crossbar's per-step time
+    uint64_t nextPresentation_ = 0;
 };
 
 /**

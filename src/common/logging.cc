@@ -2,11 +2,20 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <vector>
 
 namespace forms {
 
 namespace {
+
+/** Serializes emission so parallel workers' messages never interleave. */
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
 
 std::string
 vstrfmt(const char *fmt, va_list ap)
@@ -25,8 +34,11 @@ vstrfmt(const char *fmt, va_list ap)
 void
 emit(const char *tag, const char *fmt, va_list ap)
 {
+    // Format outside the lock; emit and flush atomically per message.
     std::string msg = vstrfmt(fmt, ap);
+    std::lock_guard<std::mutex> lk(logMutex());
     std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+    std::fflush(stderr);
 }
 
 } // namespace

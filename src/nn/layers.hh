@@ -69,6 +69,10 @@ class Dense : public Layer
     Tensor &weight() { return weight_; }
     const Tensor &weight() const { return weight_; }
 
+    /** Bias vector, shape (out_dim). */
+    Tensor &bias() { return bias_; }
+    const Tensor &bias() const { return bias_; }
+
     int inDim() const { return inDim_; }
     int outDim() const { return outDim_; }
 
@@ -100,6 +104,9 @@ class MaxPool2D : public Layer
     Tensor forward(const Tensor &input, bool train) override;
     Tensor backward(const Tensor &grad_out) override;
 
+    int kernel() const { return k_; }
+    int stride() const { return stride_; }
+
   private:
     int k_, stride_;
     Tensor argmax_;
@@ -114,6 +121,9 @@ class AvgPool2D : public Layer
         : Layer(std::move(name)), k_(k), stride_(stride) {}
     Tensor forward(const Tensor &input, bool train) override;
     Tensor backward(const Tensor &grad_out) override;
+
+    int kernel() const { return k_; }
+    int stride() const { return stride_; }
 
   private:
     int k_, stride_;

@@ -1,0 +1,408 @@
+#include "sim/runtime.hh"
+
+#include <chrono>
+
+#include "nn/layers.hh"
+#include "tensor/ops.hh"
+
+namespace forms::sim {
+
+double
+RuntimeReport::modelTimeNs() const
+{
+    double ns = 0.0;
+    for (const auto &l : layers)
+        ns += l.stats.timeNs;
+    return ns;
+}
+
+double
+RuntimeReport::modelEnergyPj() const
+{
+    double pj = 0.0;
+    for (const auto &l : layers)
+        pj += l.stats.adcEnergyPj + l.stats.crossbarEnergyPj;
+    return pj;
+}
+
+/** One executable step of the layer graph. */
+struct InferenceRuntime::Stage
+{
+    enum class Kind { Conv, Dense, Relu, MaxPool, AvgPool, Flatten };
+
+    Kind kind;
+    std::string name;
+
+    // Conv / Dense: the programmed hardware. `engine` references
+    // `mapped`, which is why stages live behind unique_ptr and never
+    // move after construction.
+    arch::MappedLayer mapped;
+    std::unique_ptr<arch::CrossbarEngine> engine;
+    int outC = 0, k = 0, stride = 0, pad = 0;
+    std::vector<float> bias;
+
+    // Pooling geometry.
+    int poolK = 0, poolStride = 0;
+};
+
+namespace {
+
+admm::LayerState *
+findState(std::vector<admm::LayerState> &layers, const Tensor *weight)
+{
+    for (auto &st : layers)
+        if (st.param.value == weight)
+            return &st;
+    return nullptr;
+}
+
+std::vector<float>
+biasOf(const Tensor &b)
+{
+    return std::vector<float>(b.data(), b.data() + b.numel());
+}
+
+} // namespace
+
+InferenceRuntime::InferenceRuntime(nn::Network &net,
+                                   std::vector<admm::LayerState> &layers,
+                                   RuntimeConfig cfg)
+    : cfg_(cfg)
+{
+    for (size_t i = 0; i < net.size(); ++i) {
+        nn::Layer &l = net.layer(i);
+        auto stage = std::make_unique<Stage>();
+        stage->name = l.name();
+
+        if (auto *conv = dynamic_cast<nn::Conv2D *>(&l)) {
+            admm::LayerState *st = findState(layers, &conv->weight());
+            if (!st) {
+                fatal("runtime: no compression state for conv layer '%s'",
+                      l.name().c_str());
+            }
+            stage->kind = Stage::Kind::Conv;
+            stage->mapped = arch::mapLayer(*st, cfg_.mapping);
+            stage->engine = std::make_unique<arch::CrossbarEngine>(
+                stage->mapped, cfg_.engine);
+            stage->outC = conv->outChannels();
+            stage->k = conv->kernel();
+            stage->stride = conv->stride();
+            stage->pad = conv->pad();
+            stage->bias = biasOf(conv->bias());
+        } else if (auto *dense = dynamic_cast<nn::Dense *>(&l)) {
+            admm::LayerState *st = findState(layers, &dense->weight());
+            if (!st) {
+                fatal("runtime: no compression state for dense layer '%s'",
+                      l.name().c_str());
+            }
+            stage->kind = Stage::Kind::Dense;
+            stage->mapped = arch::mapLayer(*st, cfg_.mapping);
+            stage->engine = std::make_unique<arch::CrossbarEngine>(
+                stage->mapped, cfg_.engine);
+            stage->outC = dense->outDim();
+            stage->bias = biasOf(dense->bias());
+        } else if (dynamic_cast<nn::ReLU *>(&l)) {
+            stage->kind = Stage::Kind::Relu;
+        } else if (auto *mp = dynamic_cast<nn::MaxPool2D *>(&l)) {
+            stage->kind = Stage::Kind::MaxPool;
+            stage->poolK = mp->kernel();
+            stage->poolStride = mp->stride();
+        } else if (auto *ap = dynamic_cast<nn::AvgPool2D *>(&l)) {
+            stage->kind = Stage::Kind::AvgPool;
+            stage->poolK = ap->kernel();
+            stage->poolStride = ap->stride();
+        } else if (dynamic_cast<nn::Flatten *>(&l)) {
+            stage->kind = Stage::Kind::Flatten;
+        } else {
+            fatal("runtime: layer '%s' is not supported yet (BatchNorm "
+                  "folding and residual blocks are ROADMAP items)",
+                  l.name().c_str());
+        }
+        stages_.push_back(std::move(stage));
+    }
+}
+
+InferenceRuntime::~InferenceRuntime() = default;
+
+ThreadPool &
+InferenceRuntime::pool() const
+{
+    return cfg_.pool ? *cfg_.pool : ThreadPool::global();
+}
+
+size_t
+InferenceRuntime::stages() const
+{
+    return stages_.size();
+}
+
+size_t
+InferenceRuntime::programmedStages() const
+{
+    size_t n = 0;
+    for (const auto &s : stages_)
+        n += s->engine != nullptr;
+    return n;
+}
+
+int64_t
+InferenceRuntime::totalCrossbars() const
+{
+    int64_t n = 0;
+    for (const auto &s : stages_)
+        if (s->engine)
+            n += s->mapped.numCrossbars();
+    return n;
+}
+
+void
+InferenceRuntime::resetPresentationStreams()
+{
+    for (auto &s : stages_)
+        if (s->engine)
+            s->engine->resetPresentationStream();
+}
+
+namespace {
+
+/**
+ * Quantize the presentations of one stage input. Presentation j's
+ * row r lives at base[j*j_stride + r*r_stride] (strided access covers
+ * both the column-major im2col layout and row-major dense inputs);
+ * quantizeActivations maps negative values to zero (the bit-serial
+ * input encoding is unsigned, DESIGN.md §2).
+ */
+std::vector<std::vector<uint32_t>>
+quantizeBatch(ThreadPool &tp, int64_t count, int64_t rows, int bits,
+              std::vector<float> &scales, const float *base,
+              int64_t j_stride, int64_t r_stride)
+{
+    std::vector<std::vector<uint32_t>> q(static_cast<size_t>(count));
+    scales.assign(static_cast<size_t>(count), 0.0f);
+    tp.parallelFor(0, count, 16, [&](int64_t j, int) {
+        std::vector<float> col(static_cast<size_t>(rows));
+        const float *p = base + j * j_stride;
+        for (int64_t r = 0; r < rows; ++r)
+            col[static_cast<size_t>(r)] = p[r * r_stride];
+        q[static_cast<size_t>(j)] = arch::quantizeActivations(
+            col, bits, &scales[static_cast<size_t>(j)]);
+    });
+    return q;
+}
+
+/**
+ * Dequantized value of output channel `oc` of one presentation.
+ * Channels past the engine's output extent were pruned away entirely
+ * (the mapper compacts them): all their weights are zero, so they
+ * legitimately contribute 0 here (bias is added by the caller).
+ */
+float
+channelValue(const std::vector<float> &deq, int oc)
+{
+    return static_cast<size_t>(oc) < deq.size()
+        ? deq[static_cast<size_t>(oc)] : 0.0f;
+}
+
+} // namespace
+
+namespace {
+
+/**
+ * Accumulate one programmed stage's batch stats into a report that
+ * may span several forward() calls: rows merge by stage position, so
+ * reusing one report across minibatches sums per-layer stats instead
+ * of appending duplicate rows.
+ */
+void
+recordLayer(RuntimeReport &report, size_t stage_idx,
+            const std::string &name, const arch::EngineStats &stats,
+            int64_t crossbars, uint64_t presentations)
+{
+    if (stage_idx < report.layers.size()) {
+        report.layers[stage_idx].stats.merge(stats);
+    } else {
+        report.layers.push_back({name, stats, crossbars});
+    }
+    report.presentations += presentations;
+}
+
+} // namespace
+
+Tensor
+InferenceRuntime::forward(const Tensor &batch, RuntimeReport *report)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    ThreadPool &tp = pool();
+    // Route the shared tensor kernels (relu, pooling, im2col) through
+    // this runtime's pool too: every stage shards on one pool.
+    PoolScope scope(tp);
+    const int in_bits = cfg_.mapping.inputBits;
+    size_t programmed_idx = 0;
+
+    // The current activation is tracked by pointer until the first
+    // stage produces its own tensor: stages only read their input, so
+    // deep-copying the caller's batch up front would be wasted work.
+    Tensor cur;
+    const Tensor *act = &batch;
+    for (auto &sp : stages_) {
+        Stage &s = *sp;
+        switch (s.kind) {
+        case Stage::Kind::Relu:
+            cur = relu(*act);
+            break;
+        case Stage::Kind::MaxPool:
+            cur = maxPool2d(*act, s.poolK, s.poolStride, nullptr);
+            break;
+        case Stage::Kind::AvgPool:
+            cur = avgPool2d(*act, s.poolK, s.poolStride);
+            break;
+        case Stage::Kind::Flatten: {
+            const int64_t n = act->dim(0);
+            cur = act->reshaped({n, act->numel() / n});
+            break;
+        }
+        case Stage::Kind::Conv: {
+            const int64_t n = act->dim(0);
+            const int h = static_cast<int>(act->dim(2));
+            const int w = static_cast<int>(act->dim(3));
+            const int oh = convOutDim(h, s.k, s.stride, s.pad);
+            const int ow = convOutDim(w, s.k, s.stride, s.pad);
+
+            // Lower to presentations: column j of the im2col matrix
+            // is patch (img, oy, ox) with j = (img*oh + oy)*ow + ox.
+            Tensor cols = im2col(*act, s.k, s.k, s.stride, s.pad);
+            const int64_t rows = cols.dim(0);
+            const int64_t m = cols.dim(1);
+            const float *pc = cols.data();
+
+            std::vector<float> scales;
+            auto q = quantizeBatch(tp, m, rows, in_bits, scales,
+                                   pc, /*j_stride=*/1, /*r_stride=*/m);
+
+            arch::EngineStats st;
+            auto raw = s.engine->mvmBatch(q, &st, &tp);
+
+            Tensor out({n, s.outC, oh, ow});
+            float *po = out.data();
+            const int64_t plane = int64_t(oh) * ow;
+            tp.parallelFor(0, m, 16, [&](int64_t j, int) {
+                const auto deq = arch::dequantizeOutputs(
+                    raw[static_cast<size_t>(j)], s.mapped.scale,
+                    scales[static_cast<size_t>(j)]);
+                const int64_t img = j / plane, pix = j % plane;
+                for (int oc = 0; oc < s.outC; ++oc) {
+                    po[(img * s.outC + oc) * plane + pix] =
+                        channelValue(deq, oc) +
+                        s.bias[static_cast<size_t>(oc)];
+                }
+            });
+            if (report) {
+                recordLayer(*report, programmed_idx, s.name, st,
+                            s.mapped.numCrossbars(),
+                            static_cast<uint64_t>(m));
+            }
+            ++programmed_idx;
+            cur = std::move(out);
+            break;
+        }
+        case Stage::Kind::Dense: {
+            FORMS_ASSERT(act->rank() == 2,
+                         "dense stage needs a flattened input");
+            const int64_t n = act->dim(0);
+            const int64_t feats = act->dim(1);
+            const float *pi = act->data();
+
+            std::vector<float> scales;
+            auto q = quantizeBatch(tp, n, feats, in_bits, scales, pi,
+                                   /*j_stride=*/feats, /*r_stride=*/1);
+
+            arch::EngineStats st;
+            auto raw = s.engine->mvmBatch(q, &st, &tp);
+
+            Tensor out({n, s.outC});
+            float *po = out.data();
+            tp.parallelFor(0, n, 16, [&](int64_t j, int) {
+                const auto deq = arch::dequantizeOutputs(
+                    raw[static_cast<size_t>(j)], s.mapped.scale,
+                    scales[static_cast<size_t>(j)]);
+                for (int oc = 0; oc < s.outC; ++oc) {
+                    po[j * s.outC + oc] =
+                        channelValue(deq, oc) +
+                        s.bias[static_cast<size_t>(oc)];
+                }
+            });
+            if (report) {
+                recordLayer(*report, programmed_idx, s.name, st,
+                            s.mapped.numCrossbars(),
+                            static_cast<uint64_t>(n));
+            }
+            ++programmed_idx;
+            cur = std::move(out);
+            break;
+        }
+        }
+        act = &cur;
+    }
+    if (act != &cur)
+        cur = *act;   // no stages at all: pass the batch through
+
+    if (report) {
+        report->wallMs += std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0).count();
+    }
+    return cur;
+}
+
+double
+InferenceRuntime::accuracy(const Tensor &images,
+                           const std::vector<int> &labels,
+                           RuntimeReport *report)
+{
+    const Tensor logits = forward(images, report);
+    FORMS_ASSERT(logits.dim(0) ==
+                     static_cast<int64_t>(labels.size()),
+                 "accuracy: label count mismatch");
+    const int64_t n = logits.dim(0), k = logits.dim(1);
+    int64_t hits = 0;
+    for (int64_t i = 0; i < n; ++i) {
+        int64_t best = 0;
+        for (int64_t j = 1; j < k; ++j)
+            if (logits.at(i, j) > logits.at(i, best))
+                best = j;
+        hits += best == labels[static_cast<size_t>(i)];
+    }
+    return n > 0 ? static_cast<double>(hits) / static_cast<double>(n)
+                 : 0.0;
+}
+
+std::vector<admm::LayerState>
+snapshotCompress(nn::Network &net, int frag_size, int quant_bits,
+                 admm::PolarizationPolicy policy)
+{
+    std::vector<admm::LayerState> states;
+    for (auto &p : net.params()) {
+        if (!p.isConvWeight && !p.isDenseWeight)
+            continue;
+        admm::LayerState st;
+        st.name = p.name;
+        st.param = p;
+        const Shape &shape = p.value->shape();
+        if (p.isConvWeight) {
+            st.plan = admm::FragmentPlan::forConv(
+                shape[0], shape[1], shape[2], frag_size, policy);
+        } else {
+            st.plan = admm::FragmentPlan::forDense(shape[0], shape[1],
+                                                   frag_size);
+        }
+        admm::WeightView v = st.view();
+        st.signs = admm::computeSigns(v, st.plan);
+        admm::projectPolarization(v, st.plan, *st.signs);
+        admm::QuantSpec qs;
+        qs.bits = quant_bits;
+        st.quantScale = admm::projectQuantize(v, qs);
+        states.push_back(std::move(st));
+    }
+    return states;
+}
+
+} // namespace forms::sim

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Batched multi-threaded inference runtime (the "whole chip" view).
+ *
+ * InferenceRuntime takes a compressed network, maps every conv/dense
+ * layer onto crossbars, programs one CrossbarEngine per layer, and
+ * streams whole batches through the layer graph:
+ *
+ *     im2col -> quantize -> mvmBatch -> dequantize(+bias)
+ *            -> activation / pooling -> next layer
+ *
+ * All stages shard across one ThreadPool. Determinism contract: the
+ * forward output and the per-layer EngineStats are bit-identical for
+ * any thread count — presentations carry RNG streams keyed by
+ * (variationSeed, presentation index), per-presentation stats merge in
+ * presentation order, and the tensor kernels only parallelize over
+ * disjoint-write axes (see DESIGN.md §2 for the input-encoding
+ * assumptions).
+ *
+ * Supported layer graph: Conv2D, Dense, ReLU, MaxPool2D, AvgPool2D,
+ * Flatten. BatchNorm folding and residual topologies are open items
+ * (ROADMAP).
+ */
+
+#ifndef FORMS_SIM_RUNTIME_HH
+#define FORMS_SIM_RUNTIME_HH
+
+#include <memory>
+
+#include "arch/engine.hh"
+#include "nn/network.hh"
+
+namespace forms::sim {
+
+/** Runtime construction knobs. */
+struct RuntimeConfig
+{
+    arch::MappingConfig mapping;  //!< crossbar geometry per layer
+    arch::EngineConfig engine;    //!< ADC / device / zero-skip knobs
+    ThreadPool *pool = nullptr;   //!< null = ThreadPool::global()
+};
+
+/** Per-programmed-layer slice of a runtime report. */
+struct RuntimeLayerReport
+{
+    std::string name;
+    arch::EngineStats stats;      //!< merged over the whole batch
+    int64_t crossbars = 0;        //!< arrays programmed for this layer
+};
+
+/**
+ * End-to-end latency / energy / host-time report. One report may span
+ * several forward() calls (e.g. a minibatch loop): per-layer stats
+ * merge into the same rows, and presentations/wallMs accumulate.
+ */
+struct RuntimeReport
+{
+    std::vector<RuntimeLayerReport> layers;
+    uint64_t presentations = 0;   //!< MVM presentations issued
+    double wallMs = 0.0;          //!< accumulated host wall-clock
+
+    /** Modeled ADC-limited time, layers in sequence (ns). */
+    double modelTimeNs() const;
+
+    /** Modeled ADC + crossbar energy (pJ). */
+    double modelEnergyPj() const;
+};
+
+/** Executes a compressed, mapped network batch-at-a-time. */
+class InferenceRuntime
+{
+  public:
+    /**
+     * Map and program every conv/dense layer of `net`.
+     *
+     * @param net the network topology (walked layer by layer)
+     * @param layers per-layer compression state (e.g.
+     *        AdmmCompressor::layers()); matched to network layers by
+     *        weight-tensor identity
+     * @param cfg geometry, engine knobs and the pool to shard on
+     */
+    InferenceRuntime(nn::Network &net,
+                     std::vector<admm::LayerState> &layers,
+                     RuntimeConfig cfg);
+    ~InferenceRuntime();
+
+    InferenceRuntime(const InferenceRuntime &) = delete;
+    InferenceRuntime &operator=(const InferenceRuntime &) = delete;
+
+    /**
+     * Run a whole NCHW batch through the layer graph on the simulated
+     * crossbars. Returns the logits (batch x classes).
+     */
+    Tensor forward(const Tensor &batch, RuntimeReport *report = nullptr);
+
+    /** Fraction of argmax(logits) == label over a labelled batch. */
+    double accuracy(const Tensor &images, const std::vector<int> &labels,
+                    RuntimeReport *report = nullptr);
+
+    /**
+     * Restart every programmed engine's presentation RNG stream at
+     * index 0. With readNoiseSigma > 0, presentation indices (and so
+     * the noise draws) otherwise continue across forward() calls;
+     * reset before a run that must reproduce an earlier one.
+     */
+    void resetPresentationStreams();
+
+    /** Number of executable stages (programmed + functional). */
+    size_t stages() const;
+
+    /** Number of crossbar-programmed (conv/dense) stages. */
+    size_t programmedStages() const;
+
+    /** Total crossbars programmed across all layers. */
+    int64_t totalCrossbars() const;
+
+  private:
+    struct Stage;
+    std::vector<std::unique_ptr<Stage>> stages_;
+    RuntimeConfig cfg_;
+
+    ThreadPool &pool() const;
+};
+
+/**
+ * Direct-programming helper for benches and tests: build per-layer
+ * compression state (fragment polarization + magnitude quantization,
+ * no training and no pruning) for every prunable parameter of `net`,
+ * ready to hand to InferenceRuntime. The network weights are projected
+ * in place so they satisfy the sign constraints the mapper assumes.
+ */
+std::vector<admm::LayerState>
+snapshotCompress(nn::Network &net, int frag_size, int quant_bits,
+                 admm::PolarizationPolicy policy =
+                     admm::PolarizationPolicy::CMajor);
+
+} // namespace forms::sim
+
+#endif // FORMS_SIM_RUNTIME_HH

@@ -4,7 +4,29 @@
 #include <cmath>
 #include <limits>
 
+#include "common/threadpool.hh"
+
 namespace forms {
+
+namespace {
+
+/**
+ * Chunk size putting ~32k elements of inner work in each task, so
+ * small tensors stay on the calling thread (a one-chunk parallelFor
+ * runs inline) and large ones shard across the pool. Every kernel
+ * below parallelizes over an axis whose slices are written disjointly
+ * and whose per-element accumulation order is unchanged, so results
+ * are bit-identical to the serial loops for any thread count.
+ */
+int64_t
+grainFor(int64_t per_item_work)
+{
+    constexpr int64_t chunk_work = int64_t(1) << 15;
+    return std::max<int64_t>(
+        1, chunk_work / std::max<int64_t>(1, per_item_work));
+}
+
+} // namespace
 
 Tensor
 matmul(const Tensor &a, const Tensor &b)
@@ -18,7 +40,7 @@ matmul(const Tensor &a, const Tensor &b)
     const float *pa = a.data();
     const float *pb = b.data();
     float *pc = c.data();
-    for (int64_t i = 0; i < m; ++i) {
+    parallelFor(0, m, grainFor(k * n), [&](int64_t i, int) {
         for (int64_t l = 0; l < k; ++l) {
             const float av = pa[i * k + l];
             if (av == 0.0f)
@@ -28,7 +50,7 @@ matmul(const Tensor &a, const Tensor &b)
             for (int64_t j = 0; j < n; ++j)
                 crow[j] += av * brow[j];
         }
-    }
+    });
     return c;
 }
 
@@ -42,7 +64,7 @@ matmulTransposeB(const Tensor &a, const Tensor &b_t)
     const float *pa = a.data();
     const float *pb = b_t.data();
     float *pc = c.data();
-    for (int64_t i = 0; i < m; ++i) {
+    parallelFor(0, m, grainFor(k * n), [&](int64_t i, int) {
         for (int64_t j = 0; j < n; ++j) {
             const float *arow = pa + i * k;
             const float *brow = pb + j * k;
@@ -51,7 +73,7 @@ matmulTransposeB(const Tensor &a, const Tensor &b_t)
                 acc += static_cast<double>(arow[l]) * brow[l];
             pc[i * n + j] = static_cast<float>(acc);
         }
-    }
+    });
     return c;
 }
 
@@ -65,18 +87,20 @@ matmulTransposeA(const Tensor &a, const Tensor &b)
     const float *pa = a.data();
     const float *pb = b.data();
     float *pc = c.data();
-    for (int64_t i = 0; i < m; ++i) {
-        const float *arow = pa + i * k;
-        const float *brow = pb + i * n;
-        for (int64_t l = 0; l < k; ++l) {
-            const float av = arow[l];
+    // Sharded over output rows l (not the reduction axis i) so each
+    // C row is owned by one task and the i-order accumulation per
+    // (l, j) matches the serial loop exactly.
+    parallelFor(0, k, grainFor(m * n), [&](int64_t l, int) {
+        float *crow = pc + l * n;
+        for (int64_t i = 0; i < m; ++i) {
+            const float av = pa[i * k + l];
             if (av == 0.0f)
                 continue;
-            float *crow = pc + l * n;
+            const float *brow = pb + i * n;
             for (int64_t j = 0; j < n; ++j)
                 crow[j] += av * brow[j];
         }
-    }
+    });
     return c;
 }
 
@@ -116,30 +140,32 @@ im2col(const Tensor &input, int kh, int kw, int stride, int pad)
     float *po = out.data();
     const float *pi = input.data();
 
-    for (int64_t img = 0; img < n; ++img) {
-        for (int64_t ch = 0; ch < c; ++ch) {
-            const float *plane = pi + (img * c + ch) * h * w;
-            for (int ky = 0; ky < kh; ++ky) {
-                for (int kx = 0; kx < kw; ++kx) {
-                    const int64_t row = (ch * kh + ky) * kw + kx;
-                    for (int oy = 0; oy < oh; ++oy) {
-                        const int iy = oy * stride - pad + ky;
-                        const int64_t col_base = (img * oh + oy) * ow;
-                        float *dst = po + row * cols + col_base;
-                        if (iy < 0 || iy >= h) {
-                            std::fill(dst, dst + ow, 0.0f);
-                            continue;
-                        }
-                        for (int ox = 0; ox < ow; ++ox) {
-                            const int ix = ox * stride - pad + kx;
-                            dst[ox] = (ix >= 0 && ix < w)
-                                ? plane[iy * w + ix] : 0.0f;
-                        }
+    // One task per (image, channel) plane: each writes a disjoint
+    // (row band, column band) block of the output.
+    parallelFor(0, n * c, grainFor(int64_t(kh) * kw * oh * ow),
+                [&](int64_t t, int) {
+        const int64_t img = t / c, ch = t % c;
+        const float *plane = pi + (img * c + ch) * h * w;
+        for (int ky = 0; ky < kh; ++ky) {
+            for (int kx = 0; kx < kw; ++kx) {
+                const int64_t row = (ch * kh + ky) * kw + kx;
+                for (int oy = 0; oy < oh; ++oy) {
+                    const int iy = oy * stride - pad + ky;
+                    const int64_t col_base = (img * oh + oy) * ow;
+                    float *dst = po + row * cols + col_base;
+                    if (iy < 0 || iy >= h) {
+                        std::fill(dst, dst + ow, 0.0f);
+                        continue;
+                    }
+                    for (int ox = 0; ox < ow; ++ox) {
+                        const int ix = ox * stride - pad + kx;
+                        dst[ox] = (ix >= 0 && ix < w)
+                            ? plane[iy * w + ix] : 0.0f;
                     }
                 }
             }
         }
-    }
+    });
     return out;
 }
 
@@ -161,28 +187,30 @@ col2im(const Tensor &cols, const Shape &input_shape, int kh, int kw,
     float *po = out.data();
     const float *pc = cols.data();
 
-    for (int64_t img = 0; img < n; ++img) {
-        for (int64_t ch = 0; ch < c; ++ch) {
-            float *plane = po + (img * c + ch) * h * w;
-            for (int ky = 0; ky < kh; ++ky) {
-                for (int kx = 0; kx < kw; ++kx) {
-                    const int64_t row = (ch * kh + ky) * kw + kx;
-                    for (int oy = 0; oy < oh; ++oy) {
-                        const int iy = oy * stride - pad + ky;
-                        if (iy < 0 || iy >= h)
-                            continue;
-                        const int64_t col_base = (img * oh + oy) * ow;
-                        const float *src = pc + row * ncols + col_base;
-                        for (int ox = 0; ox < ow; ++ox) {
-                            const int ix = ox * stride - pad + kx;
-                            if (ix >= 0 && ix < w)
-                                plane[iy * w + ix] += src[ox];
-                        }
+    // One task per (image, channel): scatter-adds land in the task's
+    // own input plane, so there are no cross-task writes.
+    parallelFor(0, n * c, grainFor(int64_t(kh) * kw * oh * ow),
+                [&](int64_t t, int) {
+        const int64_t img = t / c, ch = t % c;
+        float *plane = po + (img * c + ch) * h * w;
+        for (int ky = 0; ky < kh; ++ky) {
+            for (int kx = 0; kx < kw; ++kx) {
+                const int64_t row = (ch * kh + ky) * kw + kx;
+                for (int oy = 0; oy < oh; ++oy) {
+                    const int iy = oy * stride - pad + ky;
+                    if (iy < 0 || iy >= h)
+                        continue;
+                    const int64_t col_base = (img * oh + oy) * ow;
+                    const float *src = pc + row * ncols + col_base;
+                    for (int ox = 0; ox < ow; ++ox) {
+                        const int ix = ox * stride - pad + kx;
+                        if (ix >= 0 && ix < w)
+                            plane[iy * w + ix] += src[ox];
                     }
                 }
             }
         }
-    }
+    });
     return out;
 }
 
@@ -243,35 +271,35 @@ maxPool2d(const Tensor &input, int k, int stride, Tensor *argmax)
     if (argmax)
         *argmax = Tensor({n, c, oh, ow});
 
-    for (int64_t img = 0; img < n; ++img) {
-        for (int64_t ch = 0; ch < c; ++ch) {
-            for (int oy = 0; oy < oh; ++oy) {
-                for (int ox = 0; ox < ow; ++ox) {
-                    float best = -std::numeric_limits<float>::infinity();
-                    int64_t best_idx = -1;
-                    for (int ky = 0; ky < k; ++ky) {
-                        for (int kx = 0; kx < k; ++kx) {
-                            const int iy = oy * stride + ky;
-                            const int ix = ox * stride + kx;
-                            if (iy >= h || ix >= w)
-                                continue;
-                            const float v = input.at(img, ch, iy, ix);
-                            if (v > best) {
-                                best = v;
-                                best_idx =
-                                    ((img * c + ch) * h + iy) * w + ix;
-                            }
+    parallelFor(0, n * c, grainFor(int64_t(oh) * ow * k * k),
+                [&](int64_t t, int) {
+        const int64_t img = t / c, ch = t % c;
+        for (int oy = 0; oy < oh; ++oy) {
+            for (int ox = 0; ox < ow; ++ox) {
+                float best = -std::numeric_limits<float>::infinity();
+                int64_t best_idx = -1;
+                for (int ky = 0; ky < k; ++ky) {
+                    for (int kx = 0; kx < k; ++kx) {
+                        const int iy = oy * stride + ky;
+                        const int ix = ox * stride + kx;
+                        if (iy >= h || ix >= w)
+                            continue;
+                        const float v = input.at(img, ch, iy, ix);
+                        if (v > best) {
+                            best = v;
+                            best_idx =
+                                ((img * c + ch) * h + iy) * w + ix;
                         }
                     }
-                    out.at(img, ch, oy, ox) = best;
-                    if (argmax) {
-                        argmax->at(img, ch, oy, ox) =
-                            static_cast<float>(best_idx);
-                    }
+                }
+                out.at(img, ch, oy, ox) = best;
+                if (argmax) {
+                    argmax->at(img, ch, oy, ox) =
+                        static_cast<float>(best_idx);
                 }
             }
         }
-    }
+    });
     return out;
 }
 
@@ -303,20 +331,22 @@ avgPool2d(const Tensor &input, int k, int stride)
     const int ow = convOutDim(w, k, stride, 0);
     Tensor out({n, c, oh, ow});
     const float inv = 1.0f / static_cast<float>(k * k);
-    for (int64_t img = 0; img < n; ++img)
-        for (int64_t ch = 0; ch < c; ++ch)
-            for (int oy = 0; oy < oh; ++oy)
-                for (int ox = 0; ox < ow; ++ox) {
-                    float acc = 0.0f;
-                    for (int ky = 0; ky < k; ++ky)
-                        for (int kx = 0; kx < k; ++kx) {
-                            const int iy = oy * stride + ky;
-                            const int ix = ox * stride + kx;
-                            if (iy < h && ix < w)
-                                acc += input.at(img, ch, iy, ix);
-                        }
-                    out.at(img, ch, oy, ox) = acc * inv;
-                }
+    parallelFor(0, n * c, grainFor(int64_t(oh) * ow * k * k),
+                [&](int64_t t, int) {
+        const int64_t img = t / c, ch = t % c;
+        for (int oy = 0; oy < oh; ++oy)
+            for (int ox = 0; ox < ow; ++ox) {
+                float acc = 0.0f;
+                for (int ky = 0; ky < k; ++ky)
+                    for (int kx = 0; kx < k; ++kx) {
+                        const int iy = oy * stride + ky;
+                        const int ix = ox * stride + kx;
+                        if (iy < h && ix < w)
+                            acc += input.at(img, ch, iy, ix);
+                    }
+                out.at(img, ch, oy, ox) = acc * inv;
+            }
+    });
     return out;
 }
 

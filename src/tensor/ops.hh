@@ -1,8 +1,12 @@
 /**
  * @file
  * Tensor operations backing the DNN substrate: GEMM, im2col-based 2-d
- * convolution, pooling and activation kernels. All routines are plain
- * reference implementations — correctness and determinism first.
+ * convolution, pooling and activation kernels. Correctness and
+ * determinism first: the hot kernels (matmul*, im2col/col2im, pooling)
+ * shard over the process-wide ThreadPool along axes with disjoint
+ * writes and unchanged per-element accumulation order, so results are
+ * bit-identical to the serial loops for any thread count (set
+ * FORMS_THREADS=1 to force serial execution).
  */
 
 #ifndef FORMS_TENSOR_OPS_HH

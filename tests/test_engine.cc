@@ -96,6 +96,33 @@ TEST_P(EngineExactnessTest, LosslessAdcIsIntegerExact)
             << "output " << i;
 }
 
+TEST_P(EngineExactnessTest, BatchedLosslessAdcIsIntegerExact)
+{
+    const int frag = GetParam();
+    TestLayer layer(10, 4, 3, frag, 300 + frag);
+    MappingConfig mcfg = makeCfg(frag);
+    MappedLayer mapped = mapLayer(layer.state, mcfg);
+
+    EngineConfig ecfg;
+    ecfg.adcBits = 0;   // lossless
+    CrossbarEngine engine(mapped, ecfg);
+
+    std::vector<std::vector<uint32_t>> batch;
+    for (uint64_t s = 0; s < 6; ++s)
+        batch.push_back(randomInputs(36, mcfg.inputBits, 20 + s));
+
+    ThreadPool pool(4);
+    auto got = engine.mvmBatch(batch, nullptr, &pool);
+    ASSERT_EQ(got.size(), batch.size());
+    for (size_t b = 0; b < batch.size(); ++b) {
+        auto expect = referenceMvm(mapped, batch[b]);
+        ASSERT_EQ(got[b].size(), expect.size());
+        for (size_t i = 0; i < got[b].size(); ++i)
+            EXPECT_DOUBLE_EQ(got[b][i], static_cast<double>(expect[i]))
+                << "presentation " << b << " output " << i;
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(FragSizes, EngineExactnessTest,
                          ::testing::Values(4, 8, 16, 32));
 

@@ -67,34 +67,46 @@ TEST(EndToEnd, CompressMapExecute)
     EXPECT_GT(total_xbars, 2);
 
     // 4. Execute the first conv layer through the analog engine on a
-    //    real test image and compare with software integer math.
+    //    batch of patches from a real test image and compare with
+    //    software integer math.
     auto &first = comp.layers().front();
     arch::MappedLayer mapped = arch::mapLayer(first, mcfg);
     arch::EngineConfig ecfg;
     ecfg.adcBits = 0;   // lossless: must match exactly
     arch::CrossbarEngine engine(mapped, ecfg);
 
-    // One 3x3 patch from a test image, quantized (natural row index
-    // space of the conv: c*k*k + dy*k + dx).
+    // 3x3 patches from a test image, quantized (natural row index
+    // space of the conv: c*k*k + dy*k + dx). The last patch's inputs
+    // and scale feed the dequantization check below.
     const Tensor &img = data.test().images;
-    std::vector<float> patch;
-    for (int c = 0; c < 1; ++c)
-        for (int dy = 0; dy < 3; ++dy)
-            for (int dx = 0; dx < 3; ++dx) {
-                const float v = img.at(0, c, 4 + dy, 4 + dx);
-                patch.push_back(v > 0.0f ? v : 0.0f);
-            }
+    std::vector<std::vector<uint32_t>> batch;
     float in_scale = 0.0f;
-    auto q = arch::quantizeActivations(patch, mcfg.inputBits, &in_scale);
+    for (int oy = 0; oy < 4; ++oy) {
+        std::vector<float> patch;
+        for (int c = 0; c < 1; ++c)
+            for (int dy = 0; dy < 3; ++dy)
+                for (int dx = 0; dx < 3; ++dx) {
+                    const float v = img.at(0, c, oy + dy, 4 + dx);
+                    patch.push_back(v > 0.0f ? v : 0.0f);
+                }
+        batch.push_back(arch::quantizeActivations(patch, mcfg.inputBits,
+                                                  &in_scale));
+    }
+    const auto &q = batch.back();
 
     arch::EngineStats stats;
-    auto analog = engine.mvm(q, &stats);
-    auto reference = arch::referenceMvm(mapped, q);
-    ASSERT_EQ(analog.size(), reference.size());
-    for (size_t i = 0; i < analog.size(); ++i)
-        EXPECT_DOUBLE_EQ(analog[i],
-                         static_cast<double>(reference[i]));
+    auto analog_batch = engine.mvmBatch(batch, &stats);
+    ASSERT_EQ(analog_batch.size(), batch.size());
+    for (size_t b = 0; b < batch.size(); ++b) {
+        auto reference = arch::referenceMvm(mapped, batch[b]);
+        ASSERT_EQ(analog_batch[b].size(), reference.size());
+        for (size_t i = 0; i < analog_batch[b].size(); ++i)
+            EXPECT_DOUBLE_EQ(analog_batch[b][i],
+                             static_cast<double>(reference[i]));
+    }
     EXPECT_GT(stats.adcSamples, 0u);
+    EXPECT_EQ(stats.presentations, batch.size());
+    const auto &analog = analog_batch.back();
 
     // 5. Dequantized outputs track the float conv of the quantized
     //    operands within grid resolution.

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Batched runtime tests: the determinism contract. mvmBatch across
+ * N threads must be bit-identical (outputs AND merged stats) to a
+ * serial mvm loop — including with ADC quantization, device variation
+ * and transient read noise enabled — and a whole-network forward must
+ * be bit-identical across thread counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/activation_model.hh"
+#include "sim/runtime.hh"
+#include "nn/dataset.hh"
+#include "nn/zoo.hh"
+
+namespace forms {
+namespace {
+
+/** Polarized, quantized random conv layer mapped onto crossbars. */
+arch::MappedLayer
+buildMappedLayer(int frag, Tensor &weight, Tensor &grad, uint64_t seed)
+{
+    Rng rng(seed);
+    weight.fillGaussian(rng, 0.0f, 0.4f);
+
+    admm::LayerState st;
+    st.name = "runtime-test";
+    st.param = {"w", &weight, &grad, true, false};
+    st.plan = admm::FragmentPlan::forConv(
+        16, 16, 3, frag, admm::PolarizationPolicy::CMajor);
+    admm::WeightView v = admm::WeightView::conv(weight);
+    st.signs = admm::computeSigns(v, st.plan);
+    admm::projectPolarization(v, st.plan, *st.signs);
+    admm::QuantSpec q;
+    q.bits = 8;
+    st.quantScale = admm::projectQuantize(v, q);
+
+    arch::MappingConfig mcfg;
+    mcfg.xbarRows = 64;
+    mcfg.xbarCols = 64;
+    mcfg.fragSize = frag;
+    mcfg.inputBits = 16;
+    return arch::mapLayer(st, mcfg);
+}
+
+std::vector<std::vector<uint32_t>>
+samplePresentations(size_t count, size_t rows, uint64_t seed)
+{
+    sim::ActivationModel act = sim::ActivationModel::calibratedResNet50();
+    Rng rng(seed);
+    std::vector<std::vector<uint32_t>> batch;
+    batch.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        batch.push_back(act.sampleVector(rng, rows));
+    return batch;
+}
+
+void
+expectStatsIdentical(const arch::EngineStats &a,
+                     const arch::EngineStats &b)
+{
+    EXPECT_EQ(a.presentations, b.presentations);
+    EXPECT_EQ(a.bitCycles, b.bitCycles);
+    EXPECT_EQ(a.skippedCycles, b.skippedCycles);
+    EXPECT_EQ(a.adcSamples, b.adcSamples);
+    // Bit-identical, not approximately equal: the merge order is the
+    // presentation order in both paths.
+    EXPECT_EQ(a.adcEnergyPj, b.adcEnergyPj);
+    EXPECT_EQ(a.crossbarEnergyPj, b.crossbarEnergyPj);
+    EXPECT_EQ(a.timeNs, b.timeNs);
+}
+
+/** Serial mvm loop vs mvmBatch on `threads` threads: bit-identical. */
+void
+checkBatchMatchesSerial(arch::EngineConfig ecfg, int threads)
+{
+    static Tensor weight({16, 16, 3, 3}), grad({16, 16, 3, 3});
+    const arch::MappedLayer mapped =
+        buildMappedLayer(8, weight, grad, 2024);
+    const auto batch = samplePresentations(33, 16 * 9, 7);
+
+    // Two engines with identical construction: program-time variation
+    // draws are identical.
+    arch::CrossbarEngine serial_engine(mapped, ecfg);
+    arch::CrossbarEngine batch_engine(mapped, ecfg);
+
+    arch::EngineStats serial_stats;
+    std::vector<std::vector<double>> serial_out;
+    for (const auto &p : batch)
+        serial_out.push_back(serial_engine.mvm(p, &serial_stats));
+
+    ThreadPool pool(threads);
+    arch::EngineStats batch_stats;
+    const auto batch_out =
+        batch_engine.mvmBatch(batch, &batch_stats, &pool);
+
+    ASSERT_EQ(batch_out.size(), serial_out.size());
+    for (size_t i = 0; i < batch_out.size(); ++i) {
+        ASSERT_EQ(batch_out[i].size(), serial_out[i].size());
+        for (size_t j = 0; j < batch_out[i].size(); ++j)
+            EXPECT_EQ(batch_out[i][j], serial_out[i][j])
+                << "presentation " << i << " output " << j;
+    }
+    expectStatsIdentical(batch_stats, serial_stats);
+    EXPECT_EQ(batch_stats.presentations, batch.size());
+}
+
+TEST(MvmBatch, BitIdenticalToSerialLossless)
+{
+    arch::EngineConfig ecfg;
+    ecfg.adcBits = 0;
+    checkBatchMatchesSerial(ecfg, 4);
+}
+
+TEST(MvmBatch, BitIdenticalToSerialWithAdcQuantization)
+{
+    arch::EngineConfig ecfg;
+    ecfg.adcBits = 4;
+    checkBatchMatchesSerial(ecfg, 4);
+}
+
+TEST(MvmBatch, BitIdenticalToSerialWithDeviceVariation)
+{
+    arch::EngineConfig ecfg;
+    ecfg.adcBits = 4;
+    ecfg.cell.variationSigma = 0.1;
+    checkBatchMatchesSerial(ecfg, 4);
+}
+
+TEST(MvmBatch, BitIdenticalToSerialWithReadNoise)
+{
+    // Read noise is the per-presentation stochastic path: its streams
+    // are keyed by (seed, presentation index), not by thread.
+    arch::EngineConfig ecfg;
+    ecfg.adcBits = 5;
+    ecfg.cell.variationSigma = 0.1;
+    ecfg.readNoiseSigma = 0.05;
+    checkBatchMatchesSerial(ecfg, 4);
+    checkBatchMatchesSerial(ecfg, 7);
+}
+
+TEST(MvmBatch, SerialMvmIsBatchOfOne)
+{
+    static Tensor weight({16, 16, 3, 3}), grad({16, 16, 3, 3});
+    const arch::MappedLayer mapped =
+        buildMappedLayer(8, weight, grad, 11);
+    const auto batch = samplePresentations(3, 16 * 9, 5);
+
+    arch::CrossbarEngine a(mapped, {});
+    arch::CrossbarEngine b(mapped, {});
+    for (const auto &p : batch) {
+        const auto via_mvm = a.mvm(p);
+        const auto via_batch = b.mvmBatch({p});
+        ASSERT_EQ(via_batch.size(), 1u);
+        EXPECT_EQ(via_mvm, via_batch.front());
+    }
+}
+
+TEST(MvmBatch, ReadNoisePerturbsButPreservesDeterminism)
+{
+    static Tensor weight({16, 16, 3, 3}), grad({16, 16, 3, 3});
+    const arch::MappedLayer mapped =
+        buildMappedLayer(8, weight, grad, 12);
+    const auto batch = samplePresentations(4, 16 * 9, 9);
+
+    arch::EngineConfig noisy;
+    noisy.adcBits = 0;
+    noisy.readNoiseSigma = 0.2;
+    arch::CrossbarEngine clean_engine(mapped, {});
+    arch::CrossbarEngine noisy_engine(mapped, noisy);
+    arch::CrossbarEngine noisy_again(mapped, noisy);
+
+    const auto clean = clean_engine.mvmBatch(batch);
+    const auto first = noisy_engine.mvmBatch(batch);
+    const auto second = noisy_again.mvmBatch(batch);
+    EXPECT_EQ(first, second);   // same seed, same stream
+    EXPECT_NE(first, clean);    // the noise actually does something
+}
+
+TEST(InferenceRuntime, ForwardBitIdenticalAcrossThreadCounts)
+{
+    Rng rng(31);
+    auto net = nn::buildTinyConvNet(rng, 4, 8, 1, 12);
+    auto states = sim::snapshotCompress(*net, 4, 8);
+    ASSERT_EQ(states.size(), 3u);   // conv1, conv2, fc
+
+    nn::DatasetConfig dcfg;
+    dcfg.classes = 4;
+    dcfg.channels = 1;
+    dcfg.height = 12;
+    dcfg.width = 12;
+    dcfg.trainPerClass = 2;
+    dcfg.testPerClass = 4;
+    dcfg.seed = 77;
+    nn::SyntheticImageDataset data(dcfg);
+
+    sim::RuntimeConfig rcfg;
+    rcfg.mapping.xbarRows = 16;
+    rcfg.mapping.xbarCols = 16;
+    rcfg.mapping.fragSize = 4;
+    rcfg.mapping.inputBits = 12;
+    rcfg.engine.adcBits = 3;
+    rcfg.engine.cell.variationSigma = 0.1;
+    rcfg.engine.readNoiseSigma = 0.02;
+
+    ThreadPool serial_pool(1), parallel_pool(4);
+
+    rcfg.pool = &serial_pool;
+    sim::InferenceRuntime serial_rt(*net, states, rcfg);
+    rcfg.pool = &parallel_pool;
+    sim::InferenceRuntime parallel_rt(*net, states, rcfg);
+
+    EXPECT_EQ(serial_rt.stages(), net->size());
+    EXPECT_EQ(serial_rt.programmedStages(), 3u);
+    EXPECT_GT(serial_rt.totalCrossbars(), 0);
+
+    sim::RuntimeReport serial_rep, parallel_rep;
+    const Tensor serial_logits =
+        serial_rt.forward(data.test().images, &serial_rep);
+    const Tensor parallel_logits =
+        parallel_rt.forward(data.test().images, &parallel_rep);
+
+    EXPECT_TRUE(serial_logits.equals(parallel_logits));
+
+    ASSERT_EQ(serial_rep.layers.size(), parallel_rep.layers.size());
+    for (size_t i = 0; i < serial_rep.layers.size(); ++i) {
+        expectStatsIdentical(serial_rep.layers[i].stats,
+                             parallel_rep.layers[i].stats);
+    }
+    EXPECT_EQ(serial_rep.presentations, parallel_rep.presentations);
+    EXPECT_GT(serial_rep.presentations, 64u);
+    EXPECT_GT(serial_rep.modelTimeNs(), 0.0);
+    EXPECT_GT(serial_rep.modelEnergyPj(), 0.0);
+}
+
+TEST(InferenceRuntime, ResetPresentationStreamsReproducesNoisyRuns)
+{
+    Rng rng(34);
+    auto net = nn::buildTinyConvNet(rng, 4, 8, 1, 12);
+    auto states = sim::snapshotCompress(*net, 4, 8);
+
+    sim::RuntimeConfig rcfg;
+    rcfg.mapping.xbarRows = 16;
+    rcfg.mapping.xbarCols = 16;
+    rcfg.mapping.fragSize = 4;
+    rcfg.mapping.inputBits = 12;
+    rcfg.engine.readNoiseSigma = 0.05;
+    sim::InferenceRuntime rt(*net, states, rcfg);
+
+    Tensor batch({2, 1, 12, 12});
+    batch.fillUniform(rng, 0.0f, 1.0f);
+
+    // With read noise, presentation indices continue across calls, so
+    // a repeat differs — until the streams are reset.
+    const Tensor first = rt.forward(batch);
+    const Tensor drifted = rt.forward(batch);
+    EXPECT_FALSE(first.equals(drifted));
+    rt.resetPresentationStreams();
+    const Tensor replay = rt.forward(batch);
+    EXPECT_TRUE(first.equals(replay));
+}
+
+TEST(InferenceRuntime, ReportAccumulatesAcrossForwards)
+{
+    Rng rng(33);
+    auto net = nn::buildTinyConvNet(rng, 4, 8, 1, 12);
+    auto states = sim::snapshotCompress(*net, 4, 8);
+
+    sim::RuntimeConfig rcfg;
+    rcfg.mapping.xbarRows = 16;
+    rcfg.mapping.xbarCols = 16;
+    rcfg.mapping.fragSize = 4;
+    rcfg.mapping.inputBits = 12;
+    sim::InferenceRuntime rt(*net, states, rcfg);
+
+    Tensor batch({2, 1, 12, 12});
+    batch.fillUniform(rng, 0.0f, 1.0f);
+
+    // One report over two minibatches: per-layer rows merge in place
+    // instead of duplicating, and the counters accumulate.
+    sim::RuntimeReport rep;
+    rt.forward(batch, &rep);
+    const size_t rows = rep.layers.size();
+    const uint64_t pres = rep.presentations;
+    const uint64_t first_layer_pres = rep.layers[0].stats.presentations;
+    rt.forward(batch, &rep);
+    EXPECT_EQ(rep.layers.size(), rows);
+    EXPECT_EQ(rep.presentations, 2 * pres);
+    EXPECT_EQ(rep.layers[0].stats.presentations, 2 * first_layer_pres);
+}
+
+TEST(InferenceRuntime, AccuracyRunsAndIsBounded)
+{
+    Rng rng(32);
+    auto net = nn::buildTinyConvNet(rng, 4, 8, 1, 12);
+    auto states = sim::snapshotCompress(*net, 4, 8);
+
+    nn::DatasetConfig dcfg;
+    dcfg.classes = 4;
+    dcfg.channels = 1;
+    dcfg.height = 12;
+    dcfg.width = 12;
+    dcfg.trainPerClass = 2;
+    dcfg.testPerClass = 3;
+    dcfg.seed = 78;
+    nn::SyntheticImageDataset data(dcfg);
+
+    sim::RuntimeConfig rcfg;
+    rcfg.mapping.xbarRows = 16;
+    rcfg.mapping.xbarCols = 16;
+    rcfg.mapping.fragSize = 4;
+    rcfg.mapping.inputBits = 12;
+
+    sim::InferenceRuntime rt(*net, states, rcfg);
+    const double acc =
+        rt.accuracy(data.test().images, data.test().labels);
+    EXPECT_GE(acc, 0.0);
+    EXPECT_LE(acc, 1.0);
+}
+
+} // namespace
+} // namespace forms
