@@ -4,13 +4,22 @@
  * and ImageNet (five networks x six series), normalized to non-pruned
  * 32-bit ISAAC. The paper's published bar values are printed alongside
  * for comparison.
+ *
+ * A second section runs the ResNet zoo (buildResNetSmall /
+ * buildResNetDeep) end to end through the compiled GraphRuntime —
+ * lower, fold BN, compress, map — and writes wall-time / fps and the
+ * per-node breakdown to BENCH_graph.json so CI tracks the DAG
+ * executor's perf alongside BENCH_runtime.json.
  */
 
 #include <cstdio>
 
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "compile/passes.hh"
 #include "nn/layers.hh"
+#include "nn/zoo.hh"
+#include "sim/graph_runtime.hh"
 #include "sim/perf_model.hh"
 #include "sim/runtime.hh"
 
@@ -68,6 +77,159 @@ runtimeBreakdown()
                    rep.modelTimeNs() / 1e3, rep.modelEnergyPj() / 1e3));
 }
 
+/** One network's GraphRuntime measurement. */
+struct GraphBenchResult
+{
+    std::string name;
+    int64_t images = 0;
+    double wallMs = 0.0;
+    double fps = 0.0;
+    RuntimeReport rep;
+    int64_t crossbars = 0;
+};
+
+/**
+ * Compile (lower + BN-fold), compress, map and execute one ResNet on
+ * the DAG runtime; best wall-time of `repeats` runs.
+ */
+GraphBenchResult
+runGraphNet(const std::string &name, nn::Network &net, int64_t images)
+{
+    GraphBenchResult r;
+    r.name = name;
+    r.images = images;
+
+    auto graph = compile::lowerNetwork(net);
+    graph.inferShapes({3, 32, 32});
+    const int folded = compile::foldBatchNorm(graph);
+    auto states = snapshotCompress(net, 8, 8);
+
+    RuntimeConfig rcfg;
+    rcfg.mapping.fragSize = 8;
+    rcfg.mapping.inputBits = 8;
+    rcfg.engine.adcBits = 4;
+    GraphRuntime rt(graph, states, rcfg);
+    r.crossbars = rt.totalCrossbars();
+
+    Rng rng(7);
+    Tensor batch({images, 3, 32, 32});
+    batch.fillUniform(rng, 0.0f, 1.0f);
+
+    rt.forward(batch);   // warm-up
+    constexpr int repeats = 3;
+    for (int i = 0; i < repeats; ++i) {
+        RuntimeReport rep;
+        rt.forward(batch, &rep);
+        if (i == 0 || rep.wallMs < r.wallMs) {
+            r.wallMs = rep.wallMs;
+            r.rep = rep;
+        }
+    }
+    r.fps = r.wallMs > 0.0
+        ? static_cast<double>(images) / (r.wallMs / 1e3) : 0.0;
+
+    Table t({"Node", "Crossbars", "Presentations", "ADC samples",
+             "Modeled time (us)", "Energy (nJ)"});
+    for (const auto &l : r.rep.layers) {
+        t.row().cell(l.name)
+            .cell(l.crossbars)
+            .cell(static_cast<int64_t>(l.stats.presentations))
+            .cell(static_cast<int64_t>(l.stats.adcSamples))
+            .cell(l.stats.timeNs / 1e3, 2)
+            .cell((l.stats.adcEnergyPj + l.stats.crossbarEnergyPj) / 1e3,
+                  2);
+    }
+    t.print(strfmt("%s via GraphRuntime (batch %lld, %d BN folded): "
+                   "%.1f ms wall, %.1f fps, %lld crossbars",
+                   name.c_str(), static_cast<long long>(images), folded,
+                   r.wallMs, r.fps,
+                   static_cast<long long>(r.crossbars)));
+    return r;
+}
+
+void
+writeGraphJson(const std::vector<GraphBenchResult> &results)
+{
+    FILE *json = std::fopen("BENCH_graph.json", "w");
+    if (!json) {
+        warn("cannot write BENCH_graph.json");
+        return;
+    }
+    std::fprintf(json,
+                 "{\n"
+                 "  \"bench\": \"fig14_graph_runtime\",\n"
+                 "  \"threads\": %d,\n"
+                 "  \"networks\": [\n",
+                 ThreadPool::global().threads());
+    for (size_t n = 0; n < results.size(); ++n) {
+        const GraphBenchResult &r = results[n];
+        std::fprintf(json,
+                     "    {\n"
+                     "      \"name\": \"%s\",\n"
+                     "      \"images\": %lld,\n"
+                     "      \"wall_ms\": %.3f,\n"
+                     "      \"fps\": %.3f,\n"
+                     "      \"presentations\": %llu,\n"
+                     "      \"crossbars\": %lld,\n"
+                     "      \"model_time_us\": %.3f,\n"
+                     "      \"model_energy_nj\": %.3f,\n"
+                     "      \"layers\": [\n",
+                     r.name.c_str(),
+                     static_cast<long long>(r.images), r.wallMs, r.fps,
+                     static_cast<unsigned long long>(
+                         r.rep.presentations),
+                     static_cast<long long>(r.crossbars),
+                     r.rep.modelTimeNs() / 1e3,
+                     r.rep.modelEnergyPj() / 1e3);
+        for (size_t i = 0; i < r.rep.layers.size(); ++i) {
+            const auto &l = r.rep.layers[i];
+            std::fprintf(json,
+                         "        {\"name\": \"%s\", "
+                         "\"crossbars\": %lld, "
+                         "\"presentations\": %llu, "
+                         "\"adc_samples\": %llu, "
+                         "\"model_time_us\": %.3f, "
+                         "\"energy_nj\": %.3f}%s\n",
+                         l.name.c_str(),
+                         static_cast<long long>(l.crossbars),
+                         static_cast<unsigned long long>(
+                             l.stats.presentations),
+                         static_cast<unsigned long long>(
+                             l.stats.adcSamples),
+                         l.stats.timeNs / 1e3,
+                         (l.stats.adcEnergyPj +
+                          l.stats.crossbarEnergyPj) / 1e3,
+                         i + 1 < r.rep.layers.size() ? "," : "");
+        }
+        std::fprintf(json, "      ]\n    }%s\n",
+                     n + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_graph.json (%zu networks, %d threads)\n",
+                results.size(), ThreadPool::global().threads());
+}
+
+/** ResNetSmall / ResNetDeep end to end on the compiled DAG runtime. */
+void
+graphRuntimeBench()
+{
+    std::printf("\nResNet zoo via graph compiler + DAG runtime "
+                "(BN folded onto crossbars)\n");
+    std::vector<GraphBenchResult> results;
+    {
+        Rng rng(11);
+        auto net = nn::buildResNetSmall(rng, 10, 8);
+        results.push_back(runGraphNet("resnet_small", *net, 2));
+    }
+    {
+        Rng rng(12);
+        auto net = nn::buildResNetDeep(rng, 10, 8);
+        results.push_back(runGraphNet("resnet_deep", *net, 2));
+    }
+    writeGraphJson(results);
+}
+
 } // namespace
 
 int
@@ -121,5 +283,6 @@ main()
         "fragment.\n");
 
     runtimeBreakdown();
+    graphRuntimeBench();
     return 0;
 }

@@ -1,0 +1,271 @@
+#include "compile/graph.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "nn/layers.hh"
+#include "tensor/ops.hh"
+
+namespace forms::compile {
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+    case Op::Input: return "input";
+    case Op::Conv: return "conv";
+    case Op::Dense: return "dense";
+    case Op::BatchNorm: return "batchnorm";
+    case Op::Relu: return "relu";
+    case Op::MaxPool: return "maxpool";
+    case Op::AvgPool: return "avgpool";
+    case Op::Flatten: return "flatten";
+    case Op::Add: return "add";
+    }
+    return "?";
+}
+
+int
+Graph::addNode(Op op, std::string name, std::vector<int> inputs)
+{
+    const int id = static_cast<int>(nodes_.size());
+    for (int in : inputs) {
+        FORMS_ASSERT(in >= 0 && in < id && !dead_[static_cast<size_t>(in)],
+                     "graph: node '%s' reads invalid node %d",
+                     name.c_str(), in);
+    }
+    if (op == Op::Input) {
+        FORMS_ASSERT(input_ < 0, "graph: second Input node '%s'",
+                     name.c_str());
+        input_ = id;
+    }
+    Node n;
+    n.id = id;
+    n.op = op;
+    n.name = std::move(name);
+    n.inputs = std::move(inputs);
+    nodes_.push_back(std::move(n));
+    dead_.push_back(0);
+    output_ = id;   // default: last node added is the output
+    return id;
+}
+
+Node &
+Graph::node(int id)
+{
+    FORMS_ASSERT(alive(id), "graph: access to dead/invalid node %d", id);
+    return nodes_[static_cast<size_t>(id)];
+}
+
+const Node &
+Graph::node(int id) const
+{
+    FORMS_ASSERT(alive(id), "graph: access to dead/invalid node %d", id);
+    return nodes_[static_cast<size_t>(id)];
+}
+
+bool
+Graph::alive(int id) const
+{
+    return id >= 0 && id < capacity() && !dead_[static_cast<size_t>(id)];
+}
+
+size_t
+Graph::size() const
+{
+    size_t n = 0;
+    for (uint8_t d : dead_)
+        n += !d;
+    return n;
+}
+
+void
+Graph::setOutput(int id)
+{
+    FORMS_ASSERT(alive(id), "graph: output set to dead node %d", id);
+    output_ = id;
+}
+
+std::vector<int>
+Graph::consumers(int id) const
+{
+    std::vector<int> out;
+    for (const Node &n : nodes_) {
+        if (dead_[static_cast<size_t>(n.id)])
+            continue;
+        if (std::find(n.inputs.begin(), n.inputs.end(), id) !=
+            n.inputs.end())
+            out.push_back(n.id);
+    }
+    return out;
+}
+
+void
+Graph::bypass(int id)
+{
+    Node &n = node(id);
+    FORMS_ASSERT(n.inputs.size() == 1,
+                 "graph: bypass of '%s' needs exactly one input",
+                 n.name.c_str());
+    const int src = n.inputs[0];
+    for (Node &c : nodes_) {
+        if (dead_[static_cast<size_t>(c.id)])
+            continue;
+        for (int &in : c.inputs)
+            if (in == id)
+                in = src;
+    }
+    if (output_ == id)
+        output_ = src;
+    dead_[static_cast<size_t>(id)] = 1;
+}
+
+std::vector<int>
+Graph::topoOrder() const
+{
+    std::vector<int> indegree(nodes_.size(), 0);
+    for (const Node &n : nodes_) {
+        if (dead_[static_cast<size_t>(n.id)])
+            continue;
+        indegree[static_cast<size_t>(n.id)] =
+            static_cast<int>(n.inputs.size());
+    }
+    // Min-heap on node id: ready nodes are visited smallest-id first,
+    // so the order is a pure function of the graph structure.
+    std::priority_queue<int, std::vector<int>, std::greater<int>> ready;
+    for (const Node &n : nodes_)
+        if (!dead_[static_cast<size_t>(n.id)] && n.inputs.empty())
+            ready.push(n.id);
+
+    std::vector<int> order;
+    order.reserve(size());
+    while (!ready.empty()) {
+        const int id = ready.top();
+        ready.pop();
+        order.push_back(id);
+        // Decrement once per edge (not per distinct consumer): a node
+        // may read the same producer twice, e.g. a self-join add.
+        for (const Node &c : nodes_) {
+            if (dead_[static_cast<size_t>(c.id)])
+                continue;
+            for (int in : c.inputs)
+                if (in == id &&
+                    --indegree[static_cast<size_t>(c.id)] == 0)
+                    ready.push(c.id);
+        }
+    }
+    FORMS_ASSERT(order.size() == size(), "graph: cycle detected");
+    return order;
+}
+
+void
+Graph::inferShapes(const Shape &sample)
+{
+    FORMS_ASSERT(input_ >= 0, "graph: no Input node");
+    for (int id : topoOrder()) {
+        Node &n = nodes_[static_cast<size_t>(id)];
+        auto in = [&](size_t i) -> const Shape & {
+            return nodes_[static_cast<size_t>(n.inputs[i])].outShape;
+        };
+        switch (n.op) {
+        case Op::Input:
+            n.outShape = sample;
+            break;
+        case Op::Conv: {
+            const Shape &s = in(0);
+            if (s.size() != 3 ||
+                s[0] != n.conv->inChannels()) {
+                fatal("graph: conv '%s' expects %d-channel CHW input, "
+                      "got %s", n.name.c_str(), n.conv->inChannels(),
+                      shapeStr(s).c_str());
+            }
+            const int oh = convOutDim(static_cast<int>(s[1]),
+                                      n.conv->kernel(), n.conv->stride(),
+                                      n.conv->pad());
+            const int ow = convOutDim(static_cast<int>(s[2]),
+                                      n.conv->kernel(), n.conv->stride(),
+                                      n.conv->pad());
+            n.outShape = {n.conv->outChannels(), oh, ow};
+            break;
+        }
+        case Op::Dense: {
+            const Shape &s = in(0);
+            if (s.size() != 1 || s[0] != n.dense->inDim()) {
+                fatal("graph: dense '%s' expects %d flat features, "
+                      "got %s", n.name.c_str(), n.dense->inDim(),
+                      shapeStr(s).c_str());
+            }
+            n.outShape = {n.dense->outDim()};
+            break;
+        }
+        case Op::BatchNorm: {
+            const Shape &s = in(0);
+            if (s.size() != 3 || s[0] != n.bn->channels()) {
+                fatal("graph: batchnorm '%s' expects %d-channel CHW "
+                      "input, got %s", n.name.c_str(),
+                      n.bn->channels(), shapeStr(s).c_str());
+            }
+            n.outShape = s;
+            break;
+        }
+        case Op::Relu:
+            n.outShape = in(0);
+            break;
+        case Op::MaxPool:
+        case Op::AvgPool: {
+            const Shape &s = in(0);
+            if (s.size() != 3) {
+                fatal("graph: pool '%s' expects CHW input, got %s",
+                      n.name.c_str(), shapeStr(s).c_str());
+            }
+            const int oh = convOutDim(static_cast<int>(s[1]), n.poolK,
+                                      n.poolStride, 0);
+            const int ow = convOutDim(static_cast<int>(s[2]), n.poolK,
+                                      n.poolStride, 0);
+            if (oh <= 0 || ow <= 0) {
+                fatal("graph: pool '%s' (k=%d) collapses %s to an "
+                      "empty plane", n.name.c_str(), n.poolK,
+                      shapeStr(s).c_str());
+            }
+            n.outShape = {s[0], oh, ow};
+            break;
+        }
+        case Op::Flatten:
+            n.outShape = {shapeNumel(in(0))};
+            break;
+        case Op::Add: {
+            FORMS_ASSERT(n.inputs.size() == 2,
+                         "graph: add '%s' needs two inputs",
+                         n.name.c_str());
+            if (in(0) != in(1)) {
+                fatal("graph: add '%s' joins mismatched shapes %s vs "
+                      "%s", n.name.c_str(), shapeStr(in(0)).c_str(),
+                      shapeStr(in(1)).c_str());
+            }
+            n.outShape = in(0);
+            break;
+        }
+        }
+    }
+}
+
+std::string
+Graph::dump() const
+{
+    std::string out;
+    for (int id : topoOrder()) {
+        const Node &n = nodes_[static_cast<size_t>(id)];
+        out += strfmt("%3d %-9s %-16s <-", n.id, opName(n.op),
+                      n.name.c_str());
+        for (int in : n.inputs)
+            out += strfmt(" %d", in);
+        if (!n.outShape.empty())
+            out += "  " + shapeStr(n.outShape);
+        if (n.id == output_)
+            out += "  (output)";
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace forms::compile

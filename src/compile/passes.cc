@@ -1,0 +1,162 @@
+#include "compile/passes.hh"
+
+#include <cmath>
+
+#include "nn/layers.hh"
+#include "nn/network.hh"
+
+namespace forms::compile {
+
+namespace {
+
+/**
+ * Lower one primitive layer reading node `cur`; returns the id of the
+ * node carrying the layer's output. ResidualBlock is handled by the
+ * caller (it is not a primitive).
+ */
+int
+lowerPrimitive(Graph &g, nn::Layer &l, int cur)
+{
+    if (auto *conv = dynamic_cast<nn::Conv2D *>(&l)) {
+        const int id = g.addNode(Op::Conv, l.name(), {cur});
+        g.node(id).conv = conv;
+        return id;
+    }
+    if (auto *dense = dynamic_cast<nn::Dense *>(&l)) {
+        const int id = g.addNode(Op::Dense, l.name(), {cur});
+        g.node(id).dense = dense;
+        return id;
+    }
+    if (auto *bn = dynamic_cast<nn::BatchNorm2D *>(&l)) {
+        const int id = g.addNode(Op::BatchNorm, l.name(), {cur});
+        g.node(id).bn = bn;
+        return id;
+    }
+    if (dynamic_cast<nn::ReLU *>(&l))
+        return g.addNode(Op::Relu, l.name(), {cur});
+    if (auto *mp = dynamic_cast<nn::MaxPool2D *>(&l)) {
+        const int id = g.addNode(Op::MaxPool, l.name(), {cur});
+        g.node(id).poolK = mp->kernel();
+        g.node(id).poolStride = mp->stride();
+        return id;
+    }
+    if (auto *ap = dynamic_cast<nn::AvgPool2D *>(&l)) {
+        const int id = g.addNode(Op::AvgPool, l.name(), {cur});
+        g.node(id).poolK = ap->kernel();
+        g.node(id).poolStride = ap->stride();
+        return id;
+    }
+    if (dynamic_cast<nn::Flatten *>(&l))
+        return g.addNode(Op::Flatten, l.name(), {cur});
+    fatal("compile: layer '%s' has no graph lowering", l.name().c_str());
+}
+
+int
+lowerLayer(Graph &g, nn::Layer &l, int cur)
+{
+    auto *res = dynamic_cast<nn::ResidualBlock *>(&l);
+    if (!res)
+        return lowerPrimitive(g, l, cur);
+
+    // Residual basic block: out = relu(main(x) + shortcut(x)).
+    int m = cur;
+    for (const auto &sub : res->mainPath())
+        m = lowerLayer(g, *sub, m);
+    int s = cur;
+    for (const auto &sub : res->shortcutPath())
+        s = lowerLayer(g, *sub, s);
+    const int add = g.addNode(Op::Add, l.name() + ".add", {m, s});
+    return g.addNode(Op::Relu, l.name() + ".relu_out", {add});
+}
+
+} // namespace
+
+Graph
+lowerNetwork(nn::Network &net)
+{
+    Graph g;
+    int cur = g.addNode(Op::Input, "input", {});
+    for (size_t i = 0; i < net.size(); ++i)
+        cur = lowerLayer(g, net.layer(i), cur);
+    g.setOutput(cur);
+    return g;
+}
+
+void
+foldBatchNormInto(nn::Conv2D &conv, nn::BatchNorm2D &bn)
+{
+    const int out_c = conv.outChannels();
+    FORMS_ASSERT(bn.channels() == out_c,
+                 "fold: conv '%s' (%d ch) vs bn '%s' (%d ch)",
+                 conv.name().c_str(), out_c, bn.name().c_str(),
+                 bn.channels());
+    Tensor &w = conv.weight();
+    Tensor &b = conv.bias();
+    const int64_t per_filter = w.numel() / out_c;
+    for (int oc = 0; oc < out_c; ++oc) {
+        const float sigma = std::sqrt(bn.runningVar().at(oc) + bn.eps());
+        const float scale = bn.gamma().at(oc) / sigma;
+        float *wf = w.data() + oc * per_filter;
+        for (int64_t i = 0; i < per_filter; ++i)
+            wf[i] *= scale;
+        b.at(oc) = scale * (b.at(oc) - bn.runningMean().at(oc)) +
+            bn.beta().at(oc);
+        // Neutralize the live BN layer: gamma = sigma, beta = mean is
+        // an exact eval-mode identity, so Network::forward(eval) stays
+        // equivalent to the folded graph.
+        bn.gamma().at(oc) = sigma;
+        bn.beta().at(oc) = bn.runningMean().at(oc);
+    }
+}
+
+namespace {
+
+/**
+ * DigitalScale fold: record gamma/sigma and the folded bias in the
+ * conv node's digital output stage; weights and network untouched.
+ */
+void
+foldIntoDigitalStage(Node &conv_node, const nn::BatchNorm2D &bn)
+{
+    const nn::Conv2D &conv = *conv_node.conv;
+    const int out_c = conv.outChannels();
+    FORMS_ASSERT(bn.channels() == out_c,
+                 "fold: conv '%s' (%d ch) vs bn '%s' (%d ch)",
+                 conv.name().c_str(), out_c, bn.name().c_str(),
+                 bn.channels());
+    conv_node.outScale.resize(static_cast<size_t>(out_c));
+    conv_node.outBias.resize(static_cast<size_t>(out_c));
+    for (int oc = 0; oc < out_c; ++oc) {
+        const float sigma = std::sqrt(bn.runningVar().at(oc) + bn.eps());
+        const float scale = bn.gamma().at(oc) / sigma;
+        conv_node.outScale[static_cast<size_t>(oc)] = scale;
+        conv_node.outBias[static_cast<size_t>(oc)] =
+            scale * (conv.bias().at(oc) - bn.runningMean().at(oc)) +
+            bn.beta().at(oc);
+    }
+}
+
+} // namespace
+
+int
+foldBatchNorm(Graph &g, FoldMode mode)
+{
+    int folded = 0;
+    for (int id = 0; id < g.capacity(); ++id) {
+        if (!g.alive(id) || g.node(id).op != Op::BatchNorm)
+            continue;
+        Node &bn = g.node(id);
+        const int src = bn.inputs[0];
+        if (g.node(src).op != Op::Conv || g.consumers(src).size() != 1)
+            continue;
+        if (mode == FoldMode::Weights)
+            foldBatchNormInto(*g.node(src).conv, *bn.bn);
+        else
+            foldIntoDigitalStage(g.node(src), *bn.bn);
+        g.bypass(id);
+        ++folded;
+    }
+    return folded;
+}
+
+} // namespace forms::compile

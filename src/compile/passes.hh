@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Compiler passes over the layer-graph IR.
+ *
+ * lowerNetwork() flattens an nn::Network — recursing into
+ * ResidualBlock composites — into an explicit compile::Graph of
+ * conv/shortcut/add/relu nodes. foldBatchNorm() then absorbs
+ * inference-mode BatchNorm layers into the preceding convolution:
+ *
+ *     sigma = sqrt(running_var + eps)
+ *     w'    = gamma * w / sigma
+ *     b'    = gamma * (b - running_mean) / sigma + beta
+ *
+ * Two fold targets exist, chosen by when folding runs in the
+ * deployment pipeline (DESIGN.md §4):
+ *
+ * - FoldMode::Weights rewrites w'/b' into the conv layer itself.
+ *   Use it on FP weights *before* ADMM compression, so the
+ *   polarization and quantization projections see the final
+ *   inference-time weights. The backing nn::Network is mutated in
+ *   place: conv weights/bias are rewritten and the BN layer is
+ *   neutralized (gamma = sigma, beta = mean makes it an exact
+ *   identity in eval mode), keeping Network::forward(eval)
+ *   equivalent to the folded graph.
+ *
+ * - FoldMode::DigitalScale records gamma/sigma as a per-channel
+ *   scale (and b' as the shift) in the conv *node*'s digital output
+ *   stage, leaving weights, biases and the network untouched. Use it
+ *   *after* ADMM compression: the layer's single quantization grid
+ *   cannot absorb per-channel rescaling (one tiny sigma would wipe
+ *   every other channel's levels), but the digital periphery that
+ *   already applies the dequantization scale can apply a per-channel
+ *   affine at no analog cost.
+ */
+
+#ifndef FORMS_COMPILE_PASSES_HH
+#define FORMS_COMPILE_PASSES_HH
+
+#include "compile/graph.hh"
+
+namespace forms::nn {
+class Network;
+class Conv2D;
+class BatchNorm2D;
+} // namespace forms::nn
+
+namespace forms::compile {
+
+/**
+ * Lower a sequential network (possibly containing ResidualBlock
+ * composites) to the graph IR. The returned graph borrows layer
+ * parameters from `net`, which must outlive it.
+ */
+Graph lowerNetwork(nn::Network &net);
+
+/** Where foldBatchNorm lands the BN scale/shift (see file header). */
+enum class FoldMode
+{
+    Weights,       //!< rewrite conv weights/bias (pre-compression)
+    DigitalScale,  //!< per-channel digital output stage (post-compression)
+};
+
+/**
+ * Fold every BatchNorm node whose producer is a Conv with no other
+ * consumer into that conv, bypassing the BN node. Returns the number
+ * of BN nodes folded. BN nodes in other positions (none in the
+ * current zoo) are left for the executor to run functionally.
+ */
+int foldBatchNorm(Graph &g, FoldMode mode = FoldMode::Weights);
+
+/**
+ * The fold algebra on one conv/BN pair (exposed for tests): rewrites
+ * `conv`'s weight and bias in place and neutralizes `bn`.
+ */
+void foldBatchNormInto(nn::Conv2D &conv, nn::BatchNorm2D &bn);
+
+} // namespace forms::compile
+
+#endif // FORMS_COMPILE_PASSES_HH

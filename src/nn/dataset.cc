@@ -130,6 +130,8 @@ SyntheticImageDataset::makeSplit(int per_class, Rng &rng,
             for (int64_t i = 0; i < img_sz; ++i) {
                 dst[i] = alpha * proto.data()[i] + cfg_.noise *
                     static_cast<float>(rng.gaussian());
+                if (cfg_.nonneg && dst[i] < 0.0f)
+                    dst[i] = 0.0f;
             }
             split.labels[static_cast<size_t>(idx)] = k;
         }

@@ -44,6 +44,15 @@ struct DatasetConfig
     float scaleJitter = 0.25f;  //!< multiplicative prototype jitter
     uint64_t seed = 1;
 
+    /**
+     * Clamp sample pixels at zero, like real (unsigned) image sensor
+     * data. The crossbar runtimes encode first-layer inputs with an
+     * unsigned bit-serial DAC (DESIGN.md §2), so training on the
+     * unsigned domain makes that encoding exact end to end; the
+     * default zero-mean samples exercise the signed FP path.
+     */
+    bool nonneg = false;
+
     /** MNIST-like geometry (1x28x28, 10 classes). */
     static DatasetConfig mnistLike(uint64_t seed = 1);
     /** CIFAR-10-like geometry (3x32x32, 10 classes). */

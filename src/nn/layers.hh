@@ -39,6 +39,7 @@ class Conv2D : public Layer
 
     /** Bias vector, shape (out_c). */
     Tensor &bias() { return bias_; }
+    const Tensor &bias() const { return bias_; }
 
     int inChannels() const { return inC_; }
     int outChannels() const { return outC_; }
@@ -156,6 +157,20 @@ class BatchNorm2D : public Layer
     Tensor backward(const Tensor &grad_out) override;
     std::vector<ParamRef> params() override;
 
+    // Introspection hooks for compiler passes (compile/passes.hh):
+    // BN folding reads the affine parameters and running statistics
+    // and rewrites them in place.
+    Tensor &gamma() { return gamma_; }
+    const Tensor &gamma() const { return gamma_; }
+    Tensor &beta() { return beta_; }
+    const Tensor &beta() const { return beta_; }
+    Tensor &runningMean() { return runMean_; }
+    const Tensor &runningMean() const { return runMean_; }
+    Tensor &runningVar() { return runVar_; }
+    const Tensor &runningVar() const { return runVar_; }
+    float eps() const { return eps_; }
+    int channels() const { return channels_; }
+
   private:
     int channels_;
     float momentum_, eps_;
@@ -181,6 +196,12 @@ class ResidualBlock : public Layer
     Tensor forward(const Tensor &input, bool train) override;
     Tensor backward(const Tensor &grad_out) override;
     std::vector<ParamRef> params() override;
+
+    // Introspection hooks so compile::lowerNetwork can flatten the
+    // block into explicit graph nodes (the unique_ptrs stay owned by
+    // the block; callers get mutable Layer access through them).
+    const std::vector<LayerPtr> &mainPath() const { return main_; }
+    const std::vector<LayerPtr> &shortcutPath() const { return shortcut_; }
 
   private:
     std::vector<LayerPtr> main_;       //!< conv1 bn1 relu conv2 bn2

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "nn/layers.hh"
+#include "sim/stage_kernels.hh"
 #include "tensor/ops.hh"
 
 namespace forms::sim {
@@ -47,15 +48,6 @@ struct InferenceRuntime::Stage
 
 namespace {
 
-admm::LayerState *
-findState(std::vector<admm::LayerState> &layers, const Tensor *weight)
-{
-    for (auto &st : layers)
-        if (st.param.value == weight)
-            return &st;
-    return nullptr;
-}
-
 std::vector<float>
 biasOf(const Tensor &b)
 {
@@ -75,7 +67,7 @@ InferenceRuntime::InferenceRuntime(nn::Network &net,
         stage->name = l.name();
 
         if (auto *conv = dynamic_cast<nn::Conv2D *>(&l)) {
-            admm::LayerState *st = findState(layers, &conv->weight());
+            admm::LayerState *st = findLayerState(layers, &conv->weight());
             if (!st) {
                 fatal("runtime: no compression state for conv layer '%s'",
                       l.name().c_str());
@@ -90,7 +82,7 @@ InferenceRuntime::InferenceRuntime(nn::Network &net,
             stage->pad = conv->pad();
             stage->bias = biasOf(conv->bias());
         } else if (auto *dense = dynamic_cast<nn::Dense *>(&l)) {
-            admm::LayerState *st = findState(layers, &dense->weight());
+            admm::LayerState *st = findLayerState(layers, &dense->weight());
             if (!st) {
                 fatal("runtime: no compression state for dense layer '%s'",
                       l.name().c_str());
@@ -114,9 +106,17 @@ InferenceRuntime::InferenceRuntime(nn::Network &net,
         } else if (dynamic_cast<nn::Flatten *>(&l)) {
             stage->kind = Stage::Kind::Flatten;
         } else {
-            fatal("runtime: layer '%s' is not supported yet (BatchNorm "
-                  "folding and residual blocks are ROADMAP items)",
-                  l.name().c_str());
+            const char *kind = "unknown layer type";
+            if (dynamic_cast<nn::BatchNorm2D *>(&l))
+                kind = "BatchNorm2D";
+            else if (dynamic_cast<nn::ResidualBlock *>(&l))
+                kind = "ResidualBlock";
+            fatal("runtime: layer '%s' (%s) is outside the sequential "
+                  "InferenceRuntime's Conv/Dense/ReLU/Pool/Flatten "
+                  "coverage — lower the network with "
+                  "compile::lowerNetwork + compile::foldBatchNorm and "
+                  "execute it on sim::GraphRuntime instead",
+                  l.name().c_str(), kind);
         }
         stages_.push_back(std::move(stage));
     }
@@ -163,71 +163,6 @@ InferenceRuntime::resetPresentationStreams()
             s->engine->resetPresentationStream();
 }
 
-namespace {
-
-/**
- * Quantize the presentations of one stage input. Presentation j's
- * row r lives at base[j*j_stride + r*r_stride] (strided access covers
- * both the column-major im2col layout and row-major dense inputs);
- * quantizeActivations maps negative values to zero (the bit-serial
- * input encoding is unsigned, DESIGN.md §2).
- */
-std::vector<std::vector<uint32_t>>
-quantizeBatch(ThreadPool &tp, int64_t count, int64_t rows, int bits,
-              std::vector<float> &scales, const float *base,
-              int64_t j_stride, int64_t r_stride)
-{
-    std::vector<std::vector<uint32_t>> q(static_cast<size_t>(count));
-    scales.assign(static_cast<size_t>(count), 0.0f);
-    tp.parallelFor(0, count, 16, [&](int64_t j, int) {
-        std::vector<float> col(static_cast<size_t>(rows));
-        const float *p = base + j * j_stride;
-        for (int64_t r = 0; r < rows; ++r)
-            col[static_cast<size_t>(r)] = p[r * r_stride];
-        q[static_cast<size_t>(j)] = arch::quantizeActivations(
-            col, bits, &scales[static_cast<size_t>(j)]);
-    });
-    return q;
-}
-
-/**
- * Dequantized value of output channel `oc` of one presentation.
- * Channels past the engine's output extent were pruned away entirely
- * (the mapper compacts them): all their weights are zero, so they
- * legitimately contribute 0 here (bias is added by the caller).
- */
-float
-channelValue(const std::vector<float> &deq, int oc)
-{
-    return static_cast<size_t>(oc) < deq.size()
-        ? deq[static_cast<size_t>(oc)] : 0.0f;
-}
-
-} // namespace
-
-namespace {
-
-/**
- * Accumulate one programmed stage's batch stats into a report that
- * may span several forward() calls: rows merge by stage position, so
- * reusing one report across minibatches sums per-layer stats instead
- * of appending duplicate rows.
- */
-void
-recordLayer(RuntimeReport &report, size_t stage_idx,
-            const std::string &name, const arch::EngineStats &stats,
-            int64_t crossbars, uint64_t presentations)
-{
-    if (stage_idx < report.layers.size()) {
-        report.layers[stage_idx].stats.merge(stats);
-    } else {
-        report.layers.push_back({name, stats, crossbars});
-    }
-    report.presentations += presentations;
-}
-
-} // namespace
-
 Tensor
 InferenceRuntime::forward(const Tensor &batch, RuntimeReport *report)
 {
@@ -262,82 +197,26 @@ InferenceRuntime::forward(const Tensor &batch, RuntimeReport *report)
             break;
         }
         case Stage::Kind::Conv: {
-            const int64_t n = act->dim(0);
-            const int h = static_cast<int>(act->dim(2));
-            const int w = static_cast<int>(act->dim(3));
-            const int oh = convOutDim(h, s.k, s.stride, s.pad);
-            const int ow = convOutDim(w, s.k, s.stride, s.pad);
-
-            // Lower to presentations: column j of the im2col matrix
-            // is patch (img, oy, ox) with j = (img*oh + oy)*ow + ox.
-            Tensor cols = im2col(*act, s.k, s.k, s.stride, s.pad);
-            const int64_t rows = cols.dim(0);
-            const int64_t m = cols.dim(1);
-            const float *pc = cols.data();
-
-            std::vector<float> scales;
-            auto q = quantizeBatch(tp, m, rows, in_bits, scales,
-                                   pc, /*j_stride=*/1, /*r_stride=*/m);
-
             arch::EngineStats st;
-            auto raw = s.engine->mvmBatch(q, &st, &tp);
-
-            Tensor out({n, s.outC, oh, ow});
-            float *po = out.data();
-            const int64_t plane = int64_t(oh) * ow;
-            tp.parallelFor(0, m, 16, [&](int64_t j, int) {
-                const auto deq = arch::dequantizeOutputs(
-                    raw[static_cast<size_t>(j)], s.mapped.scale,
-                    scales[static_cast<size_t>(j)]);
-                const int64_t img = j / plane, pix = j % plane;
-                for (int oc = 0; oc < s.outC; ++oc) {
-                    po[(img * s.outC + oc) * plane + pix] =
-                        channelValue(deq, oc) +
-                        s.bias[static_cast<size_t>(oc)];
-                }
-            });
+            cur = convStage(*act, *s.engine, s.mapped, s.bias, {},
+                            s.outC, s.k, s.stride, s.pad, in_bits, tp,
+                            &st);
             if (report) {
                 recordLayer(*report, programmed_idx, s.name, st,
-                            s.mapped.numCrossbars(),
-                            static_cast<uint64_t>(m));
+                            s.mapped.numCrossbars(), st.presentations);
             }
             ++programmed_idx;
-            cur = std::move(out);
             break;
         }
         case Stage::Kind::Dense: {
-            FORMS_ASSERT(act->rank() == 2,
-                         "dense stage needs a flattened input");
-            const int64_t n = act->dim(0);
-            const int64_t feats = act->dim(1);
-            const float *pi = act->data();
-
-            std::vector<float> scales;
-            auto q = quantizeBatch(tp, n, feats, in_bits, scales, pi,
-                                   /*j_stride=*/feats, /*r_stride=*/1);
-
             arch::EngineStats st;
-            auto raw = s.engine->mvmBatch(q, &st, &tp);
-
-            Tensor out({n, s.outC});
-            float *po = out.data();
-            tp.parallelFor(0, n, 16, [&](int64_t j, int) {
-                const auto deq = arch::dequantizeOutputs(
-                    raw[static_cast<size_t>(j)], s.mapped.scale,
-                    scales[static_cast<size_t>(j)]);
-                for (int oc = 0; oc < s.outC; ++oc) {
-                    po[j * s.outC + oc] =
-                        channelValue(deq, oc) +
-                        s.bias[static_cast<size_t>(oc)];
-                }
-            });
+            cur = denseStage(*act, *s.engine, s.mapped, s.bias, s.outC,
+                             in_bits, tp, &st);
             if (report) {
                 recordLayer(*report, programmed_idx, s.name, st,
-                            s.mapped.numCrossbars(),
-                            static_cast<uint64_t>(n));
+                            s.mapped.numCrossbars(), st.presentations);
             }
             ++programmed_idx;
-            cur = std::move(out);
             break;
         }
         }
@@ -358,21 +237,7 @@ InferenceRuntime::accuracy(const Tensor &images,
                            const std::vector<int> &labels,
                            RuntimeReport *report)
 {
-    const Tensor logits = forward(images, report);
-    FORMS_ASSERT(logits.dim(0) ==
-                     static_cast<int64_t>(labels.size()),
-                 "accuracy: label count mismatch");
-    const int64_t n = logits.dim(0), k = logits.dim(1);
-    int64_t hits = 0;
-    for (int64_t i = 0; i < n; ++i) {
-        int64_t best = 0;
-        for (int64_t j = 1; j < k; ++j)
-            if (logits.at(i, j) > logits.at(i, best))
-                best = j;
-        hits += best == labels[static_cast<size_t>(i)];
-    }
-    return n > 0 ? static_cast<double>(hits) / static_cast<double>(n)
-                 : 0.0;
+    return logitsAccuracy(forward(images, report), labels);
 }
 
 std::vector<admm::LayerState>

@@ -17,9 +17,13 @@
  * disjoint-write axes (see DESIGN.md §2 for the input-encoding
  * assumptions).
  *
- * Supported layer graph: Conv2D, Dense, ReLU, MaxPool2D, AvgPool2D,
- * Flatten. BatchNorm folding and residual topologies are open items
- * (ROADMAP).
+ * Supported layer graph: straight-line Conv2D, Dense, ReLU,
+ * MaxPool2D, AvgPool2D, Flatten chains. Networks with BatchNorm2D or
+ * ResidualBlock layers (the ResNet zoo) are rejected here by design:
+ * lower them with compile::lowerNetwork, fold BN with
+ * compile::foldBatchNorm, and execute the resulting DAG on
+ * sim::GraphRuntime (sim/graph_runtime.hh), which shares these stage
+ * kernels and the same determinism contract.
  */
 
 #ifndef FORMS_SIM_RUNTIME_HH

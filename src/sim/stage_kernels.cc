@@ -1,0 +1,170 @@
+#include "sim/stage_kernels.hh"
+
+#include "sim/runtime.hh"
+#include "tensor/ops.hh"
+
+namespace forms::sim {
+
+namespace {
+
+/**
+ * Quantize the presentations of one stage input. Presentation j's
+ * row r lives at base[j*j_stride + r*r_stride] (strided access covers
+ * both the column-major im2col layout and row-major dense inputs);
+ * quantizeActivations maps negative values to zero (the bit-serial
+ * input encoding is unsigned, DESIGN.md §2).
+ */
+std::vector<std::vector<uint32_t>>
+quantizeBatch(ThreadPool &tp, int64_t count, int64_t rows, int bits,
+              std::vector<float> &scales, const float *base,
+              int64_t j_stride, int64_t r_stride)
+{
+    std::vector<std::vector<uint32_t>> q(static_cast<size_t>(count));
+    scales.assign(static_cast<size_t>(count), 0.0f);
+    tp.parallelFor(0, count, 16, [&](int64_t j, int) {
+        std::vector<float> col(static_cast<size_t>(rows));
+        const float *p = base + j * j_stride;
+        for (int64_t r = 0; r < rows; ++r)
+            col[static_cast<size_t>(r)] = p[r * r_stride];
+        q[static_cast<size_t>(j)] = arch::quantizeActivations(
+            col, bits, &scales[static_cast<size_t>(j)]);
+    });
+    return q;
+}
+
+/**
+ * Dequantized value of output channel `oc` of one presentation.
+ * Channels past the engine's output extent were pruned away entirely
+ * (the mapper compacts them): all their weights are zero, so they
+ * legitimately contribute 0 here (bias is added by the caller).
+ */
+float
+channelValue(const std::vector<float> &deq, int oc)
+{
+    return static_cast<size_t>(oc) < deq.size()
+        ? deq[static_cast<size_t>(oc)] : 0.0f;
+}
+
+} // namespace
+
+Tensor
+convStage(const Tensor &act, arch::CrossbarEngine &engine,
+          const arch::MappedLayer &mapped,
+          const std::vector<float> &bias,
+          const std::vector<float> &chan_scale, int out_c, int k,
+          int stride, int pad, int input_bits, ThreadPool &tp,
+          arch::EngineStats *stats)
+{
+    FORMS_ASSERT(chan_scale.empty() ||
+                     chan_scale.size() == static_cast<size_t>(out_c),
+                 "conv stage: digital scale extent mismatch");
+    const int64_t n = act.dim(0);
+    const int h = static_cast<int>(act.dim(2));
+    const int w = static_cast<int>(act.dim(3));
+    const int oh = convOutDim(h, k, stride, pad);
+    const int ow = convOutDim(w, k, stride, pad);
+
+    // Lower to presentations: column j of the im2col matrix is patch
+    // (img, oy, ox) with j = (img*oh + oy)*ow + ox.
+    Tensor cols = im2col(act, k, k, stride, pad);
+    const int64_t rows = cols.dim(0);
+    const int64_t m = cols.dim(1);
+    const float *pc = cols.data();
+
+    std::vector<float> scales;
+    auto q = quantizeBatch(tp, m, rows, input_bits, scales, pc,
+                           /*j_stride=*/1, /*r_stride=*/m);
+
+    auto raw = engine.mvmBatch(q, stats, &tp);
+
+    Tensor out({n, out_c, oh, ow});
+    float *po = out.data();
+    const int64_t plane = int64_t(oh) * ow;
+    tp.parallelFor(0, m, 16, [&](int64_t j, int) {
+        const auto deq = arch::dequantizeOutputs(
+            raw[static_cast<size_t>(j)], mapped.scale,
+            scales[static_cast<size_t>(j)]);
+        const int64_t img = j / plane, pix = j % plane;
+        for (int oc = 0; oc < out_c; ++oc) {
+            const float s = chan_scale.empty()
+                ? 1.0f : chan_scale[static_cast<size_t>(oc)];
+            po[(img * out_c + oc) * plane + pix] =
+                s * channelValue(deq, oc) +
+                bias[static_cast<size_t>(oc)];
+        }
+    });
+    return out;
+}
+
+Tensor
+denseStage(const Tensor &act, arch::CrossbarEngine &engine,
+           const arch::MappedLayer &mapped,
+           const std::vector<float> &bias, int out_dim, int input_bits,
+           ThreadPool &tp, arch::EngineStats *stats)
+{
+    FORMS_ASSERT(act.rank() == 2, "dense stage needs a flattened input");
+    const int64_t n = act.dim(0);
+    const int64_t feats = act.dim(1);
+    const float *pi = act.data();
+
+    std::vector<float> scales;
+    auto q = quantizeBatch(tp, n, feats, input_bits, scales, pi,
+                           /*j_stride=*/feats, /*r_stride=*/1);
+
+    auto raw = engine.mvmBatch(q, stats, &tp);
+
+    Tensor out({n, out_dim});
+    float *po = out.data();
+    tp.parallelFor(0, n, 16, [&](int64_t j, int) {
+        const auto deq = arch::dequantizeOutputs(
+            raw[static_cast<size_t>(j)], mapped.scale,
+            scales[static_cast<size_t>(j)]);
+        for (int oc = 0; oc < out_dim; ++oc) {
+            po[j * out_dim + oc] =
+                channelValue(deq, oc) + bias[static_cast<size_t>(oc)];
+        }
+    });
+    return out;
+}
+
+void
+recordLayer(RuntimeReport &report, size_t stage_idx,
+            const std::string &name, const arch::EngineStats &stats,
+            int64_t crossbars, uint64_t presentations)
+{
+    if (stage_idx < report.layers.size()) {
+        report.layers[stage_idx].stats.merge(stats);
+    } else {
+        report.layers.push_back({name, stats, crossbars});
+    }
+    report.presentations += presentations;
+}
+
+admm::LayerState *
+findLayerState(std::vector<admm::LayerState> &layers, const Tensor *weight)
+{
+    for (auto &st : layers)
+        if (st.param.value == weight)
+            return &st;
+    return nullptr;
+}
+
+double
+logitsAccuracy(const Tensor &logits, const std::vector<int> &labels)
+{
+    FORMS_ASSERT(logits.dim(0) == static_cast<int64_t>(labels.size()),
+                 "accuracy: label count mismatch");
+    const int64_t n = logits.dim(0), k = logits.dim(1);
+    int64_t hits = 0;
+    for (int64_t i = 0; i < n; ++i) {
+        int64_t best = 0;
+        for (int64_t j = 1; j < k; ++j)
+            if (logits.at(i, j) > logits.at(i, best))
+                best = j;
+        hits += best == labels[static_cast<size_t>(i)];
+    }
+    return n > 0 ? static_cast<double>(hits) / static_cast<double>(n)
+                 : 0.0;
+}
+
+} // namespace forms::sim

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared per-stage execution kernels of the batched crossbar runtimes.
+ *
+ * Both executors — the sequential InferenceRuntime (sim/runtime.hh)
+ * and the DAG GraphRuntime (sim/graph_runtime.hh) — stream a batch
+ * through one programmed matrix stage the same way:
+ *
+ *     (im2col) -> quantize -> mvmBatch -> dequantize(+bias)
+ *
+ * The kernels here carry the DESIGN.md §3 determinism contract: all
+ * parallel loops write disjoint elements, the engine's presentation
+ * stream supplies any per-presentation randomness, and per-batch
+ * EngineStats come back merged in presentation order.
+ */
+
+#ifndef FORMS_SIM_STAGE_KERNELS_HH
+#define FORMS_SIM_STAGE_KERNELS_HH
+
+#include "admm/compressor.hh"
+#include "arch/engine.hh"
+
+namespace forms::sim {
+
+struct RuntimeReport;
+
+/**
+ * Run one conv stage: lower the NCHW batch to im2col presentations,
+ * quantize, execute on `engine`, and dequantize back to an NCHW
+ * output tensor through the digital output stage
+ *
+ *     out[oc] = chan_scale[oc] * mvm[oc] + bias[oc]
+ *
+ * where an empty `chan_scale` means all-ones (plain bias add). The
+ * per-channel scale carries BN folded into the periphery
+ * (compile::FoldMode::DigitalScale).
+ */
+Tensor convStage(const Tensor &act, arch::CrossbarEngine &engine,
+                 const arch::MappedLayer &mapped,
+                 const std::vector<float> &bias,
+                 const std::vector<float> &chan_scale, int out_c, int k,
+                 int stride, int pad, int input_bits, ThreadPool &tp,
+                 arch::EngineStats *stats);
+
+/** Run one dense stage on a flattened (N, features) batch. */
+Tensor denseStage(const Tensor &act, arch::CrossbarEngine &engine,
+                  const arch::MappedLayer &mapped,
+                  const std::vector<float> &bias, int out_dim,
+                  int input_bits, ThreadPool &tp,
+                  arch::EngineStats *stats);
+
+/**
+ * Accumulate one programmed stage's batch stats into a report that may
+ * span several forward() calls: rows merge by stage position, so
+ * reusing one report across minibatches sums per-layer stats instead
+ * of appending duplicate rows.
+ */
+void recordLayer(RuntimeReport &report, size_t stage_idx,
+                 const std::string &name, const arch::EngineStats &stats,
+                 int64_t crossbars, uint64_t presentations);
+
+/** Compression state whose constrained weight is `weight`, or null. */
+admm::LayerState *findLayerState(std::vector<admm::LayerState> &layers,
+                                 const Tensor *weight);
+
+/** Fraction of argmax(logits) == label over a labelled batch. */
+double logitsAccuracy(const Tensor &logits,
+                      const std::vector<int> &labels);
+
+} // namespace forms::sim
+
+#endif // FORMS_SIM_STAGE_KERNELS_HH

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Compiler tests: lowering an nn::Network (including ResidualBlock
+ * recursion) to the graph IR, shape inference over DAG joins, and the
+ * BN-folding pass — the folded conv must match the unfolded FP
+ * Conv+BN reference within tight tolerance on randomized shapes, and
+ * whole-network eval forward must be unchanged by folding (the BN
+ * layers are neutralized in place).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compile/passes.hh"
+#include "nn/layers.hh"
+#include "nn/network.hh"
+#include "nn/zoo.hh"
+
+namespace forms {
+namespace {
+
+/** Give a BN layer nontrivial affine parameters and running stats. */
+void
+randomizeBn(nn::BatchNorm2D &bn, Rng &rng)
+{
+    bn.gamma().fillUniform(rng, 0.5f, 1.5f);
+    bn.beta().fillUniform(rng, -0.5f, 0.5f);
+    bn.runningMean().fillUniform(rng, -0.4f, 0.4f);
+    bn.runningVar().fillUniform(rng, 0.25f, 2.0f);
+}
+
+void
+expectClose(const Tensor &a, const Tensor &b, float tol)
+{
+    ASSERT_EQ(a.shape(), b.shape());
+    for (int64_t i = 0; i < a.numel(); ++i)
+        ASSERT_NEAR(a.at(i), b.at(i), tol) << "element " << i;
+}
+
+TEST(Lowering, StraightLineChain)
+{
+    Rng rng(3);
+    auto net = nn::buildTinyConvNet(rng, 4, 8, 1, 12);
+    auto g = compile::lowerNetwork(*net);
+
+    // input + 8 layers, all sequential: conv relu pool conv relu pool
+    // flat fc.
+    EXPECT_EQ(g.size(), net->size() + 1);
+    const auto topo = g.topoOrder();
+    ASSERT_EQ(topo.size(), g.size());
+    EXPECT_EQ(topo.front(), g.input());
+    EXPECT_EQ(topo.back(), g.output());
+
+    g.inferShapes({1, 12, 12});
+    EXPECT_EQ(g.node(g.output()).outShape, (Shape{4}));
+}
+
+TEST(Lowering, ResidualBlockBecomesDagWithJoin)
+{
+    Rng rng(4);
+    nn::Network net;
+    net.emplace<nn::Conv2D>("stem", 3, 8, 3, 1, 1, rng);
+    net.emplace<nn::ReLU>("stem_relu");
+    // Projection shortcut (stride 2, channel change): main path
+    // conv-bn-relu-conv-bn plus conv-bn shortcut, then add + relu.
+    net.emplace<nn::ResidualBlock>("blk", 8, 16, 2, rng);
+
+    auto g = compile::lowerNetwork(net);
+    // input, stem, stem_relu, then blk: 5 main + 2 shortcut + add +
+    // relu_out = 9.
+    EXPECT_EQ(g.size(), 12u);
+
+    int adds = 0, bns = 0;
+    for (int id = 0; id < g.capacity(); ++id) {
+        if (!g.alive(id))
+            continue;
+        adds += g.node(id).op == compile::Op::Add;
+        bns += g.node(id).op == compile::Op::BatchNorm;
+    }
+    EXPECT_EQ(adds, 1);
+    EXPECT_EQ(bns, 3);
+
+    g.inferShapes({3, 10, 10});
+    EXPECT_EQ(g.node(g.output()).outShape, (Shape{16, 5, 5}));
+
+    // The add node joins the main path (bn2) and the shortcut (bn).
+    for (int id = 0; id < g.capacity(); ++id) {
+        if (g.alive(id) && g.node(id).op == compile::Op::Add) {
+            ASSERT_EQ(g.node(id).inputs.size(), 2u);
+            EXPECT_EQ(g.node(g.node(id).inputs[0]).name, "blk.bn2");
+            EXPECT_EQ(g.node(g.node(id).inputs[1]).name, "blk.proj_bn");
+        }
+    }
+}
+
+TEST(Lowering, ResNetZooLowersAndInfersShapes)
+{
+    Rng rng(5);
+    auto net = nn::buildResNetSmall(rng, 10, 8, 2);
+    auto g = compile::lowerNetwork(*net);
+    g.inferShapes({3, 32, 32});
+    EXPECT_EQ(g.node(g.output()).outShape, (Shape{10}));
+
+    // Two of the six blocks change shape, so two projection shortcuts
+    // exist: 6 add joins total.
+    int adds = 0;
+    for (int id = 0; id < g.capacity(); ++id)
+        if (g.alive(id) && g.node(id).op == compile::Op::Add)
+            ++adds;
+    EXPECT_EQ(adds, 6);
+    EXPECT_FALSE(g.dump().empty());
+}
+
+TEST(FoldBatchNorm, MatchesConvBnReferenceOnRandomizedShapes)
+{
+    struct Cfg { int in_c, out_c, k, stride, pad, hw; };
+    const Cfg cfgs[] = {
+        {3, 8, 3, 1, 1, 9},
+        {5, 12, 5, 2, 2, 11},
+        {1, 16, 1, 1, 0, 7},
+        {8, 6, 3, 2, 0, 12},
+    };
+    uint64_t seed = 100;
+    for (const Cfg &c : cfgs) {
+        Rng rng(seed++);
+        nn::Network net;
+        auto &conv = net.emplace<nn::Conv2D>("c", c.in_c, c.out_c, c.k,
+                                             c.stride, c.pad, rng);
+        conv.bias().fillUniform(rng, -0.2f, 0.2f);
+        auto &bn = net.emplace<nn::BatchNorm2D>("b", c.out_c);
+        randomizeBn(bn, rng);
+
+        Tensor x({2, c.in_c, c.hw, c.hw});
+        x.fillUniform(rng, -1.0f, 1.0f);
+        const Tensor ref = net.forward(x, false);
+
+        auto g = compile::lowerNetwork(net);
+        EXPECT_EQ(compile::foldBatchNorm(g), 1);
+        EXPECT_EQ(g.size(), 2u);   // input + conv; BN bypassed
+
+        // Folded conv alone reproduces Conv+BN ...
+        const Tensor folded = conv.forward(x, false);
+        const float tol =
+            5e-5f * std::max(1.0f, ref.maxAbs());
+        expectClose(ref, folded, tol);
+
+        // ... and the neutralized BN makes the whole net a no-op
+        // change in eval mode.
+        expectClose(ref, net.forward(x, false), tol);
+    }
+}
+
+TEST(FoldBatchNorm, FoldsEveryBnInResNetAndPreservesEvalForward)
+{
+    Rng rng(21);
+    auto net = nn::buildResNetSmall(rng, 10, 8, 1);
+    // Perturb every BN so folding is nontrivial.
+    Rng prng(22);
+    for (auto &p : net->params()) {
+        if (p.name.find(".gamma") != std::string::npos)
+            p.value->fillUniform(prng, 0.6f, 1.4f);
+        if (p.name.find(".beta") != std::string::npos)
+            p.value->fillUniform(prng, -0.3f, 0.3f);
+    }
+
+    Tensor x({2, 3, 32, 32});
+    x.fillUniform(prng, 0.0f, 1.0f);
+    const Tensor ref = net->forward(x, false);
+
+    auto g = compile::lowerNetwork(*net);
+    size_t before = g.size();
+    // 1 stem BN + 3 blocks x (2 main + up to 1 proj): blocks at stage
+    // boundaries have projection shortcuts (2 of 3 here).
+    const int folded = compile::foldBatchNorm(g);
+    EXPECT_EQ(folded, 9);
+    EXPECT_EQ(g.size(), before - static_cast<size_t>(folded));
+    for (int id = 0; id < g.capacity(); ++id)
+        if (g.alive(id))
+            EXPECT_NE(g.node(id).op, compile::Op::BatchNorm);
+
+    g.inferShapes({3, 32, 32});
+    const Tensor after = net->forward(x, false);
+    const float tol = 1e-4f * std::max(1.0f, ref.maxAbs());
+    expectClose(ref, after, tol);
+}
+
+TEST(FoldBatchNorm, DigitalScaleModeLeavesWeightsAndNetworkUntouched)
+{
+    Rng rng(55);
+    nn::Network net;
+    auto &conv = net.emplace<nn::Conv2D>("c", 3, 6, 3, 1, 1, rng);
+    conv.bias().fillUniform(rng, -0.2f, 0.2f);
+    auto &bn = net.emplace<nn::BatchNorm2D>("b", 6);
+    randomizeBn(bn, rng);
+
+    const Tensor w_before = conv.weight();
+    Tensor x({2, 3, 8, 8});
+    x.fillUniform(rng, -1.0f, 1.0f);
+    const Tensor ref = net.forward(x, false);
+
+    auto g = compile::lowerNetwork(net);
+    EXPECT_EQ(
+        compile::foldBatchNorm(g, compile::FoldMode::DigitalScale), 1);
+    // Weights, bias and BN parameters are untouched; the network's
+    // eval forward is unchanged.
+    EXPECT_TRUE(conv.weight().equals(w_before));
+    EXPECT_TRUE(ref.equals(net.forward(x, false)));
+
+    // The conv node carries the fold in its digital output stage.
+    bool found = false;
+    for (int id = 0; id < g.capacity(); ++id) {
+        if (!g.alive(id) || g.node(id).op != compile::Op::Conv)
+            continue;
+        found = true;
+        const compile::Node &n = g.node(id);
+        ASSERT_EQ(n.outScale.size(), 6u);
+        ASSERT_EQ(n.outBias.size(), 6u);
+        for (int oc = 0; oc < 6; ++oc) {
+            const float sigma =
+                std::sqrt(bn.runningVar().at(oc) + bn.eps());
+            const float s = bn.gamma().at(oc) / sigma;
+            EXPECT_FLOAT_EQ(n.outScale[static_cast<size_t>(oc)], s);
+            EXPECT_FLOAT_EQ(
+                n.outBias[static_cast<size_t>(oc)],
+                s * (conv.bias().at(oc) - bn.runningMean().at(oc)) +
+                    bn.beta().at(oc));
+        }
+    }
+    EXPECT_TRUE(found);
+    EXPECT_EQ(g.size(), 2u);   // BN node bypassed
+}
+
+TEST(FoldBatchNorm, SkipsBnWithoutPrivateConvProducer)
+{
+    Rng rng(31);
+    nn::Network net;
+    // BN directly on the input: no conv producer, must be left alone.
+    net.emplace<nn::BatchNorm2D>("bn_in", 3);
+    net.emplace<nn::Conv2D>("c", 3, 4, 3, 1, 1, rng);
+    auto g = compile::lowerNetwork(net);
+    EXPECT_EQ(compile::foldBatchNorm(g), 0);
+    EXPECT_EQ(g.size(), 3u);
+}
+
+TEST(GraphIr, BypassRewiresConsumersAndOutput)
+{
+    Rng rng(41);
+    nn::Network net;
+    net.emplace<nn::Conv2D>("c", 1, 2, 3, 1, 1, rng);
+    auto &bn = net.emplace<nn::BatchNorm2D>("b", 2);
+    (void)bn;
+    auto g = compile::lowerNetwork(net);
+    const int out_before = g.output();
+    g.bypass(out_before);   // the BN node is the output
+    EXPECT_EQ(g.size(), 2u);
+    EXPECT_EQ(g.node(g.output()).name, "c");
+    EXPECT_TRUE(g.consumers(g.output()).empty());
+}
+
+} // namespace
+} // namespace forms
