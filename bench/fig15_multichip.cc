@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Multi-chip pipeline scaling study (beyond the paper's single-chip
+ * evaluation — "fig15" continues the paper's figure numbering): the
+ * ResNet zoo partitioned across {1, 2, 4} simulated chips by
+ * compile::Schedule and executed on sim::PipelineRuntime with
+ * micro-batch pipelining and modeled inter-chip transfers.
+ *
+ * Emits BENCH_pipeline.json: modeled fps vs chip count, speedup over
+ * 1 chip, pipeline bubble fraction, per-chip utilization / crossbar
+ * allocation, and link traffic. Also cross-checks that the pipelined
+ * logits are bit-identical to GraphRuntime at every chip count (the
+ * DESIGN.md §5 contract — chips shard the model, not the arithmetic).
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "compile/passes.hh"
+#include "compile/schedule.hh"
+#include "nn/zoo.hh"
+#include "sim/graph_runtime.hh"
+#include "sim/pipeline_runtime.hh"
+
+using namespace forms;
+using namespace forms::sim;
+
+namespace {
+
+constexpr int kImages = 4;
+constexpr int kMicroBatch = 1;
+const int kChipCounts[] = {1, 2, 4};
+
+/** One (network, chip count) measurement. */
+struct ChipCountResult
+{
+    int chips = 0;
+    PipelineReport rep;
+    int64_t cutBytesPerSample = 0;
+    bool logitsMatchGraph = false;
+};
+
+struct NetResult
+{
+    std::string name;
+    int64_t crossbars = 0;
+    std::vector<ChipCountResult> points;
+};
+
+RuntimeConfig
+benchConfig()
+{
+    RuntimeConfig rcfg;
+    rcfg.mapping.fragSize = 8;
+    rcfg.mapping.inputBits = 8;
+    rcfg.engine.adcBits = 4;
+    return rcfg;
+}
+
+/** Compile, partition at each chip count, pipeline, cross-check. */
+NetResult
+runNet(const std::string &name, nn::Network &net)
+{
+    NetResult r;
+    r.name = name;
+
+    auto graph = compile::lowerNetwork(net);
+    graph.inferShapes({3, 32, 32});
+    const int folded = compile::foldBatchNorm(graph);
+    auto states = snapshotCompress(net, 8, 8);
+
+    Rng rng(7);
+    Tensor batch({kImages, 3, 32, 32});
+    batch.fillUniform(rng, 0.0f, 1.0f);
+
+    // Bit-identity reference: the plain DAG executor on one engine set.
+    GraphRuntime gref(graph, states, benchConfig());
+    const Tensor ref_logits = gref.forward(batch);
+
+    for (int chips : kChipCounts) {
+        compile::ScheduleConfig scfg;
+        scfg.chips = chips;
+        auto sched = compile::Schedule::partition(graph, scfg);
+
+        PipelineRuntimeConfig pcfg;
+        pcfg.runtime = benchConfig();
+        pcfg.microBatch = kMicroBatch;
+
+        ChipCountResult point;
+        point.chips = chips;
+        point.cutBytesPerSample = sched.cutBytesPerSample();
+        PipelineRuntime rt(graph, std::move(sched), states, pcfg);
+        r.crossbars = rt.totalCrossbars();
+        const Tensor logits = rt.forward(batch, &point.rep);
+        point.logitsMatchGraph = logits.equals(ref_logits);
+        r.points.push_back(std::move(point));
+    }
+
+    const double base_fps = r.points[0].rep.modeledFps();
+    Table t({"Chips", "Modeled fps", "Speedup", "Bubble frac",
+             "Transfer (us)", "Min util", "Max util", "Logits"});
+    for (const auto &p : r.points) {
+        double lo = 1.0, hi = 0.0;
+        for (const auto &c : p.rep.chips) {
+            lo = std::min(lo, c.utilization);
+            hi = std::max(hi, c.utilization);
+        }
+        t.row().cell(static_cast<int64_t>(p.chips))
+            .cell(p.rep.modeledFps(), 1)
+            .cell(base_fps > 0.0 ? p.rep.modeledFps() / base_fps : 0.0, 2)
+            .cell(p.rep.bubbleFraction, 3)
+            .cell(p.rep.transferNs / 1e3, 2)
+            .cell(lo, 3)
+            .cell(hi, 3)
+            .cell(p.logitsMatchGraph ? "EXACT" : "DIVERGED");
+    }
+    t.print(strfmt("%s pipelined across chips (batch %d, micro-batch "
+                   "%d, %d BN folded, %lld crossbars)",
+                   name.c_str(), kImages, kMicroBatch, folded,
+                   static_cast<long long>(r.crossbars)));
+    return r;
+}
+
+void
+writePipelineJson(const std::vector<NetResult> &results)
+{
+    FILE *json = std::fopen("BENCH_pipeline.json", "w");
+    if (!json) {
+        warn("cannot write BENCH_pipeline.json");
+        return;
+    }
+    std::fprintf(json,
+                 "{\n"
+                 "  \"bench\": \"fig15_multichip_pipeline\",\n"
+                 "  \"threads\": %d,\n"
+                 "  \"images\": %d,\n"
+                 "  \"micro_batch\": %d,\n"
+                 "  \"networks\": [\n",
+                 ThreadPool::global().threads(), kImages, kMicroBatch);
+    for (size_t n = 0; n < results.size(); ++n) {
+        const NetResult &r = results[n];
+        const double base_fps = r.points[0].rep.modeledFps();
+        std::fprintf(json,
+                     "    {\n"
+                     "      \"name\": \"%s\",\n"
+                     "      \"crossbars\": %lld,\n"
+                     "      \"chip_counts\": [\n",
+                     r.name.c_str(),
+                     static_cast<long long>(r.crossbars));
+        for (size_t i = 0; i < r.points.size(); ++i) {
+            const ChipCountResult &p = r.points[i];
+            std::fprintf(
+                json,
+                "        {\"chips\": %d, "
+                "\"modeled_fps\": %.3f, "
+                "\"speedup_vs_1chip\": %.3f, "
+                "\"makespan_us\": %.3f, "
+                "\"bubble_fraction\": %.4f, "
+                "\"transfer_us\": %.3f, "
+                "\"transfer_nj\": %.3f, "
+                "\"cut_bytes_per_sample\": %lld, "
+                "\"logits_match_graph_runtime\": %s,\n"
+                "         \"per_chip\": [",
+                p.chips, p.rep.modeledFps(),
+                base_fps > 0.0 ? p.rep.modeledFps() / base_fps : 0.0,
+                p.rep.makespanNs / 1e3, p.rep.bubbleFraction,
+                p.rep.transferNs / 1e3, p.rep.transferPj / 1e3,
+                static_cast<long long>(p.cutBytesPerSample),
+                p.logitsMatchGraph ? "true" : "false");
+            for (size_t c = 0; c < p.rep.chips.size(); ++c) {
+                const ChipReport &ch = p.rep.chips[c];
+                std::fprintf(
+                    json,
+                    "{\"chip\": %d, \"nodes\": %zu, "
+                    "\"programmed\": %zu, \"crossbars\": %lld, "
+                    "\"utilization\": %.4f, \"compute_us\": %.3f, "
+                    "\"transfer_in_us\": %.3f}%s",
+                    ch.chip, ch.nodes, ch.programmedNodes,
+                    static_cast<long long>(ch.crossbars),
+                    ch.utilization, ch.computeNs / 1e3,
+                    ch.transferInNs / 1e3,
+                    c + 1 < p.rep.chips.size() ? ", " : "");
+            }
+            std::fprintf(json, "]}%s\n",
+                         i + 1 < r.points.size() ? "," : "");
+        }
+        std::fprintf(json, "      ]\n    }%s\n",
+                     n + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_pipeline.json (%zu networks, %d threads)\n",
+                results.size(), ThreadPool::global().threads());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Multi-chip pipelined graph scheduler: ResNet zoo "
+                "across %d / %d / %d chips\n",
+                kChipCounts[0], kChipCounts[1], kChipCounts[2]);
+
+    std::vector<NetResult> results;
+    {
+        Rng rng(11);
+        auto net = nn::buildResNetSmall(rng, 10, 8);
+        results.push_back(runNet("resnet_small", *net));
+    }
+    {
+        Rng rng(12);
+        auto net = nn::buildResNetDeep(rng, 10, 8);
+        results.push_back(runNet("resnet_deep", *net));
+    }
+    writePipelineJson(results);
+
+    // The headline contract, in one line each.
+    bool all_exact = true;
+    for (const auto &r : results)
+        for (const auto &p : r.points)
+            all_exact = all_exact && p.logitsMatchGraph;
+    std::printf("\npipelined logits vs GraphRuntime at every chip "
+                "count: %s\n", all_exact ? "EXACT" : "DIVERGED");
+    return all_exact ? 0 : 1;
+}

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in the repo's markdown docs.
+
+Scans README.md, DESIGN.md, PAPER.md, PAPERS.md, ROADMAP.md,
+CHANGES.md and everything under docs/ for [text](target) links and
+checks that each relative target exists on disk (anchors are stripped;
+http/https/mailto links are skipped). In README.md and docs/ only, it
+also checks inline `path` references of the form src/... / tests/... /
+bench/... so the subsystem maps cannot rot silently; the historical
+logs (CHANGES.md etc.) may name since-moved paths freely.
+
+Usage: python3 scripts/check_doc_links.py  (from anywhere; resolves
+paths against the repo root, which is this script's parent directory).
+Exits non-zero listing every broken link.
+"""
+
+import os
+import re
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+TOP_LEVEL = ["README.md", "DESIGN.md", "PAPER.md", "PAPERS.md",
+             "ROADMAP.md", "CHANGES.md"]
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+PATH_RE = re.compile(r"`((?:src|tests|bench|examples|docs|scripts)/"
+                     r"[A-Za-z0-9_./-]+)`")
+
+
+def doc_files():
+    for name in TOP_LEVEL:
+        path = os.path.join(ROOT, name)
+        if os.path.isfile(path):
+            yield path
+    docs = os.path.join(ROOT, "docs")
+    if os.path.isdir(docs):
+        for dirpath, _, files in os.walk(docs):
+            for f in sorted(files):
+                if f.endswith(".md"):
+                    yield os.path.join(dirpath, f)
+
+
+def check_file(path):
+    broken = []
+    text = open(path, encoding="utf-8").read()
+    base = os.path.dirname(path)
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        rel = target.split("#", 1)[0]
+        if not rel:
+            continue
+        if not os.path.exists(os.path.normpath(os.path.join(base, rel))):
+            broken.append((target, "missing link target"))
+    # Inline code paths are only held current in README.md and docs/;
+    # historical files (CHANGES.md, DESIGN.md, ...) legitimately name
+    # paths that later refactors moved.
+    name = os.path.relpath(path, ROOT)
+    if name == "README.md" or name.startswith("docs" + os.sep):
+        for ref in PATH_RE.findall(text):
+            # Tolerate globs and "foo.{hh,cc}"-style brace groups.
+            if any(ch in ref for ch in "*{}"):
+                continue
+            if not os.path.exists(os.path.join(ROOT, ref)):
+                broken.append((ref, "missing inline path reference"))
+    return broken
+
+
+def main():
+    failures = 0
+    for path in doc_files():
+        for target, why in check_file(path):
+            rel = os.path.relpath(path, ROOT)
+            print(f"BROKEN {rel}: {target} ({why})")
+            failures += 1
+    if failures:
+        print(f"{failures} broken reference(s)")
+        return 1
+    print("all documentation links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,11 @@
  * must outlive the graph — compiler passes (compile/passes.hh) mutate
  * those parameters in place, and the executor (sim/graph_runtime.hh)
  * maps them onto crossbars.
+ *
+ * Thread-safety: a Graph has no internal synchronization. Build and
+ * mutate it (addNode/bypass/inferShapes) from one thread; once
+ * construction and passes are done, const queries (topoOrder, dump,
+ * consumers, node) are safe to call concurrently.
  */
 
 #ifndef FORMS_COMPILE_GRAPH_HH

@@ -31,6 +31,12 @@
  *   every other channel's levels), but the digital periphery that
  *   already applies the dequantization scale can apply a per-channel
  *   affine at no analog cost.
+ *
+ * Thread-safety: passes mutate the graph and (in Weights mode) the
+ * backing network in place — run them from one thread, before any
+ * runtime is constructed on the graph. They are deterministic: node
+ * visit order is the graph's id/topological order, never a hash or
+ * thread order.
  */
 
 #ifndef FORMS_COMPILE_PASSES_HH

@@ -1,0 +1,255 @@
+#include "compile/schedule.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+#include "nn/layers.hh"
+
+namespace forms::compile {
+
+double
+nodeWork(const Node &n)
+{
+    FORMS_ASSERT(!n.outShape.empty(),
+                 "nodeWork: run inferShapes() before partitioning");
+    int64_t out_elems = 1;
+    for (int64_t d : n.outShape)
+        out_elems *= d;
+    switch (n.op) {
+    case Op::Conv:
+        return static_cast<double>(out_elems) * n.conv->kernel() *
+               n.conv->kernel() * n.conv->inChannels();
+    case Op::Dense:
+        return static_cast<double>(n.dense->inDim()) * n.dense->outDim();
+    default:
+        // Functional ops (relu, pool, BN, add...) are digital
+        // periphery work, orders of magnitude below a crossbar MVM;
+        // charge one unit per output element so empty chips still
+        // lose to chips with real work in the balance objective.
+        return static_cast<double>(out_elems);
+    }
+}
+
+namespace {
+
+/** float32 bytes of one node's per-sample output tensor. */
+int64_t
+bytesPerSample(const Node &n)
+{
+    int64_t elems = 1;
+    for (int64_t d : n.outShape)
+        elems *= d;
+    return elems * static_cast<int64_t>(sizeof(float));
+}
+
+/** Lexicographic (maxWork, cutBytes) objective value. */
+struct Cost
+{
+    double maxWork = std::numeric_limits<double>::infinity();
+    int64_t cutBytes = 0;
+
+    bool betterThan(const Cost &o) const
+    {
+        if (maxWork != o.maxWork)
+            return maxWork < o.maxWork;
+        return cutBytes < o.cutBytes;
+    }
+};
+
+} // namespace
+
+Schedule
+Schedule::partition(const Graph &g, const ScheduleConfig &cfg)
+{
+    const std::vector<int> topo = g.topoOrder();
+    const int n = static_cast<int>(topo.size());
+    FORMS_ASSERT(n > 0, "partition: empty graph");
+
+    const int chips = std::max(1, std::min(cfg.chips, n));
+    std::vector<double> capacity = cfg.capacity;
+    if (capacity.empty()) {
+        capacity.assign(static_cast<size_t>(chips), 1.0);
+    } else if (static_cast<int>(capacity.size()) != cfg.chips) {
+        fatal("partition: capacity vector has %zu entries for %d chips",
+              capacity.size(), cfg.chips);
+    }
+    // When the chip count was clamped to the live node count, the
+    // trailing capacities have no stage to describe.
+    capacity.resize(static_cast<size_t>(chips), 1.0);
+    for (int s = 0; s < chips; ++s) {
+        if (capacity[static_cast<size_t>(s)] <= 0.0)
+            fatal("partition: chip %d capacity must be positive", s);
+    }
+
+    // Topo position of each node id, and prefix sums of node work so
+    // any contiguous stage's work is O(1) to evaluate.
+    std::vector<int> pos(static_cast<size_t>(g.capacity()), -1);
+    for (int i = 0; i < n; ++i)
+        pos[static_cast<size_t>(topo[i])] = i;
+    std::vector<double> prefix(static_cast<size_t>(n) + 1, 0.0);
+    for (int i = 0; i < n; ++i) {
+        prefix[static_cast<size_t>(i) + 1] =
+            prefix[static_cast<size_t>(i)] +
+            nodeWork(g.node(topo[static_cast<size_t>(i)]));
+    }
+
+    // last[i]: last topo position where node topo[i]'s value is
+    // needed — its furthest consumer, or past the end for the graph
+    // output (it leaves the last chip's scope). The DP's cut costs
+    // and the materialized transfers both derive from this one
+    // liveness computation, so the optimized objective always matches
+    // the cost the pipeline runtime charges.
+    std::vector<int> last(static_cast<size_t>(n), 0);
+    for (int i = 0; i < n; ++i) {
+        const int id = topo[static_cast<size_t>(i)];
+        int l = i;
+        for (int c : g.consumers(id))
+            l = std::max(l, pos[static_cast<size_t>(c)]);
+        if (id == g.output())
+            l = n;
+        last[static_cast<size_t>(i)] = l;
+    }
+
+    // cut[b]: bytes-per-sample crossing the boundary before topo
+    // position b — the sum over unique producers before b with at
+    // least one consumer (or the graph output) at or after b.
+    std::vector<int64_t> cut(static_cast<size_t>(n) + 1, 0);
+    for (int i = 0; i < n; ++i) {
+        // The value is live across boundaries (i, last]: it must hop
+        // every one of them on the linear chip-to-chip link.
+        const int64_t bytes =
+            bytesPerSample(g.node(topo[static_cast<size_t>(i)]));
+        for (int b = i + 1;
+             b <= last[static_cast<size_t>(i)] && b <= n; ++b)
+            cut[static_cast<size_t>(b)] += bytes;
+    }
+
+    // Exact DP over cut positions: best[s][i] = optimal cost of
+    // packing the first i topo nodes onto chips 0..s, each stage
+    // non-empty and contiguous. Transitions scan the previous cut
+    // point j; ties break toward the smallest j, making the cut
+    // vector lexicographically smallest and the result deterministic.
+    const double inf = std::numeric_limits<double>::infinity();
+    std::vector<std::vector<Cost>> best(
+        static_cast<size_t>(chips),
+        std::vector<Cost>(static_cast<size_t>(n) + 1));
+    std::vector<std::vector<int>> from(
+        static_cast<size_t>(chips),
+        std::vector<int>(static_cast<size_t>(n) + 1, -1));
+    for (int i = 1; i <= n; ++i) {
+        best[0][static_cast<size_t>(i)] = Cost{
+            (prefix[static_cast<size_t>(i)] - prefix[0]) / capacity[0],
+            0};
+        from[0][static_cast<size_t>(i)] = 0;
+    }
+    for (int s = 1; s < chips; ++s) {
+        for (int i = s + 1; i <= n; ++i) {
+            Cost pick;
+            pick.maxWork = inf;
+            int arg = -1;
+            for (int j = s; j < i; ++j) {
+                const Cost &prev = best[static_cast<size_t>(s) - 1]
+                                       [static_cast<size_t>(j)];
+                if (prev.maxWork == inf)
+                    continue;
+                const double stage_work =
+                    (prefix[static_cast<size_t>(i)] -
+                     prefix[static_cast<size_t>(j)]) /
+                    capacity[static_cast<size_t>(s)];
+                const Cost cand{
+                    std::max(prev.maxWork, stage_work),
+                    prev.cutBytes + cut[static_cast<size_t>(j)]};
+                if (cand.betterThan(pick)) {
+                    pick = cand;
+                    arg = j;
+                }
+            }
+            best[static_cast<size_t>(s)][static_cast<size_t>(i)] = pick;
+            from[static_cast<size_t>(s)][static_cast<size_t>(i)] = arg;
+        }
+    }
+
+    // Recover the cut points.
+    std::vector<int> bounds(static_cast<size_t>(chips) + 1, 0);
+    bounds[static_cast<size_t>(chips)] = n;
+    for (int s = chips - 1; s > 0; --s) {
+        bounds[static_cast<size_t>(s)] =
+            from[static_cast<size_t>(s)]
+                [static_cast<size_t>(bounds[static_cast<size_t>(s) + 1])];
+        FORMS_ASSERT(bounds[static_cast<size_t>(s)] > 0,
+                     "partition: DP failed to place every stage");
+    }
+
+    Schedule sched;
+    sched.chips_ = chips;
+    sched.chipOf_.assign(static_cast<size_t>(g.capacity()), -1);
+    sched.chipNodes_.resize(static_cast<size_t>(chips));
+    sched.work_.assign(static_cast<size_t>(chips), 0.0);
+    for (int s = 0; s < chips; ++s) {
+        for (int i = bounds[static_cast<size_t>(s)];
+             i < bounds[static_cast<size_t>(s) + 1]; ++i) {
+            const int id = topo[static_cast<size_t>(i)];
+            sched.chipOf_[static_cast<size_t>(id)] = s;
+            sched.chipNodes_[static_cast<size_t>(s)].push_back(id);
+            sched.work_[static_cast<size_t>(s)] += nodeWork(g.node(id));
+        }
+    }
+
+    // Materialize the boundary hops, ordered by (fromChip, producer).
+    for (int s = 0; s + 1 < chips; ++s) {
+        const int b = bounds[static_cast<size_t>(s) + 1];
+        for (int i = 0; i < b; ++i) {
+            if (last[static_cast<size_t>(i)] >= b) {
+                const int id = topo[static_cast<size_t>(i)];
+                sched.transfers_.push_back(
+                    {id, s, s + 1, bytesPerSample(g.node(id))});
+            }
+        }
+    }
+    return sched;
+}
+
+int
+Schedule::chipOf(int id) const
+{
+    if (id < 0 || static_cast<size_t>(id) >= chipOf_.size())
+        return -1;
+    return chipOf_[static_cast<size_t>(id)];
+}
+
+double
+Schedule::chipWork(int chip) const
+{
+    FORMS_ASSERT(chip >= 0 && chip < chips_, "chipWork: bad chip");
+    return work_[static_cast<size_t>(chip)];
+}
+
+int64_t
+Schedule::cutBytesPerSample() const
+{
+    int64_t total = 0;
+    for (const Transfer &t : transfers_)
+        total += t.bytesPerSample;
+    return total;
+}
+
+std::string
+Schedule::dump() const
+{
+    std::string out;
+    for (int s = 0; s < chips_; ++s) {
+        out += strfmt("chip %d (work %.3g):", s, chipWork(s));
+        for (int id : chipNodes_[static_cast<size_t>(s)])
+            out += strfmt(" %d", id);
+        out += "\n";
+    }
+    for (const Transfer &t : transfers_) {
+        out += strfmt("transfer node %d: chip %d -> %d (%lld B/sample)\n",
+                      t.producer, t.fromChip, t.toChip,
+                      static_cast<long long>(t.bytesPerSample));
+    }
+    return out;
+}
+
+} // namespace forms::compile

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Multi-chip partitioning pass over the layer-graph IR.
+ *
+ * A Schedule assigns every live node of a compile::Graph to one of N
+ * simulated chips arranged as a linear pipeline: chip 0 feeds chip 1
+ * feeds chip 2, and so on. Assignments are contiguous in the graph's
+ * deterministic topological order, so inter-chip dataflow is acyclic
+ * by construction and chip k only ever sends tensors forward to chip
+ * k+1. Tensor edges that cross a chip boundary become explicit
+ * Transfer records (store-and-forward across intermediate chips),
+ * which the pipelined executor (sim/pipeline_runtime.hh) charges with
+ * a configurable latency/energy cost (sim::InterChipLink).
+ *
+ * The partitioner is an exact dynamic program over cut positions in
+ * the topological order. It minimizes, lexicographically:
+ *
+ *   1. the maximum capacity-normalized per-chip compute work
+ *      (a balanced pipeline is throughput-optimal), then
+ *   2. the total tensor traffic crossing chip boundaries
+ *      (min-cut-ish on the tensor edges), then
+ *   3. the cut-position vector itself (smallest-first),
+ *
+ * so the result is a pure function of (graph, config) — never of
+ * thread timing or iteration order. Determinism is load-bearing:
+ * per-chip EngineStats presentation streams and merge order follow
+ * the partition (DESIGN.md §5).
+ *
+ * Thread-safety: partition() is a pure function and re-entrant. A
+ * built Schedule is immutable; concurrent reads are safe.
+ */
+
+#ifndef FORMS_COMPILE_SCHEDULE_HH
+#define FORMS_COMPILE_SCHEDULE_HH
+
+#include "compile/graph.hh"
+
+namespace forms::compile {
+
+/** Partitioner knobs. */
+struct ScheduleConfig
+{
+    /** Pipeline chip count; clamped to the live node count. */
+    int chips = 1;
+
+    /**
+     * Relative compute capacity per chip (empty = all equal). The
+     * balance objective divides each chip's work by its capacity, so
+     * a chip with capacity 2.0 is assigned roughly twice the work.
+     * When non-empty it must have exactly `chips` positive entries
+     * (partition() fatal()s otherwise); if the chip count is clamped
+     * to a smaller live node count, trailing entries are ignored.
+     */
+    std::vector<double> capacity;
+};
+
+/**
+ * One tensor's hop across a chip boundary: node `producer`'s output
+ * moving from chip `fromChip` to chip `fromChip + 1`. A value
+ * consumed several chips downstream appears once per boundary it
+ * crosses (store-and-forward on a linear chip-to-chip link).
+ */
+struct Transfer
+{
+    int producer = -1;       //!< node id whose output moves
+    int fromChip = -1;       //!< sending chip (receiver is fromChip+1)
+    int toChip = -1;         //!< receiving chip (always fromChip + 1)
+    int64_t bytesPerSample = 0;  //!< float32 payload per batch sample
+};
+
+/**
+ * A chip assignment for every live node of one graph, plus the
+ * induced inter-chip transfers. Build with partition(); the graph
+ * must have run inferShapes() first (edge traffic is measured in
+ * output-tensor bytes). The schedule borrows nothing from the graph —
+ * it holds plain ids — but is only meaningful for the graph (and the
+ * topology) it was built from.
+ */
+class Schedule
+{
+  public:
+    /**
+     * Partition `g` into cfg.chips pipeline stages (see file header
+     * for the objective). Requires inferShapes() to have run;
+     * fatal()s on empty shapes or a malformed capacity vector.
+     */
+    static Schedule partition(const Graph &g, const ScheduleConfig &cfg);
+
+    /** Number of chips actually used (<= cfg.chips). */
+    int chips() const { return chips_; }
+
+    /** Chip owning live node `id` (-1 for dead/unknown ids). */
+    int chipOf(int id) const;
+
+    /** Node ids per chip, each list in topological order. */
+    const std::vector<std::vector<int>> &chipNodes() const
+    {
+        return chipNodes_;
+    }
+
+    /** All boundary hops, ordered by (fromChip, producer id). */
+    const std::vector<Transfer> &transfers() const { return transfers_; }
+
+    /** Modeled compute work (MAC-count estimate) of one chip. */
+    double chipWork(int chip) const;
+
+    /** Total bytes-per-sample crossing all chip boundaries. */
+    int64_t cutBytesPerSample() const;
+
+    /** Multi-line human-readable dump (one chip per line). */
+    std::string dump() const;
+
+  private:
+    int chips_ = 0;
+    std::vector<int> chipOf_;               //!< by node id; -1 = dead
+    std::vector<std::vector<int>> chipNodes_;
+    std::vector<Transfer> transfers_;
+    std::vector<double> work_;              //!< per chip
+};
+
+/**
+ * Compute-work estimate of one node used by the balance objective:
+ * MAC count for Conv/Dense (per sample), output element count for
+ * the cheap functional ops. Requires outShape to be inferred.
+ */
+double nodeWork(const Node &n);
+
+} // namespace forms::compile
+
+#endif // FORMS_COMPILE_SCHEDULE_HH

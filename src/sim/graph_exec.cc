@@ -1,0 +1,233 @@
+#include "sim/graph_exec.hh"
+
+#include <cmath>
+
+#include "nn/layers.hh"
+#include "sim/stage_kernels.hh"
+#include "tensor/ops.hh"
+
+namespace forms::sim {
+
+namespace {
+
+std::vector<float>
+biasOf(const Tensor &b)
+{
+    return std::vector<float>(b.data(), b.data() + b.numel());
+}
+
+} // namespace
+
+std::vector<NodeExec>
+buildNodeExecs(const compile::Graph &g, const std::vector<int> &topo,
+               std::vector<admm::LayerState> &layers,
+               const RuntimeConfig &cfg,
+               std::vector<arch::EnginePool> &pools,
+               const std::function<int(int)> &chip_of)
+{
+    std::vector<NodeExec> execs;
+    execs.reserve(topo.size());
+    for (int id : topo) {
+        const compile::Node &n = g.node(id);
+        NodeExec e;
+        e.op = n.op;
+        e.nodeId = id;
+        e.name = n.name;
+        e.inputs = n.inputs;
+        e.chip = chip_of(id);
+        FORMS_ASSERT(e.chip >= 0 &&
+                         static_cast<size_t>(e.chip) < pools.size(),
+                     "graph exec: node assigned outside the chip pools "
+                     "— was the schedule built from this graph?");
+        arch::EnginePool &chip = pools[static_cast<size_t>(e.chip)];
+
+        switch (n.op) {
+        case compile::Op::Conv: {
+            admm::LayerState *st =
+                findLayerState(layers, &n.conv->weight());
+            if (!st) {
+                fatal("graph exec: no compression state for conv "
+                      "node '%s'", n.name.c_str());
+            }
+            chip.program(id, arch::mapLayer(*st, cfg.mapping),
+                         cfg.engine);
+            e.engine = chip.engine(id);
+            e.mapped = chip.mapped(id);
+            e.outC = n.conv->outChannels();
+            e.k = n.conv->kernel();
+            e.stride = n.conv->stride();
+            e.pad = n.conv->pad();
+            // A digital output stage (BN folded into the periphery)
+            // replaces the plain layer bias.
+            if (!n.outScale.empty()) {
+                e.chanScale = n.outScale;
+                e.bias = n.outBias;
+            } else {
+                e.bias = biasOf(n.conv->bias());
+            }
+            break;
+        }
+        case compile::Op::Dense: {
+            admm::LayerState *st =
+                findLayerState(layers, &n.dense->weight());
+            if (!st) {
+                fatal("graph exec: no compression state for dense "
+                      "node '%s'", n.name.c_str());
+            }
+            chip.program(id, arch::mapLayer(*st, cfg.mapping),
+                         cfg.engine);
+            e.engine = chip.engine(id);
+            e.mapped = chip.mapped(id);
+            e.outC = n.dense->outDim();
+            e.bias = biasOf(n.dense->bias());
+            break;
+        }
+        case compile::Op::BatchNorm: {
+            // Left unfolded (e.g. BN not preceded by a private conv):
+            // snapshot the eval-mode affine.
+            const int c = n.bn->channels();
+            e.bnScale.resize(static_cast<size_t>(c));
+            e.bnShift.resize(static_cast<size_t>(c));
+            for (int i = 0; i < c; ++i) {
+                const float sigma = std::sqrt(
+                    n.bn->runningVar().at(i) + n.bn->eps());
+                const float s = n.bn->gamma().at(i) / sigma;
+                e.bnScale[static_cast<size_t>(i)] = s;
+                e.bnShift[static_cast<size_t>(i)] =
+                    n.bn->beta().at(i) -
+                    s * n.bn->runningMean().at(i);
+            }
+            break;
+        }
+        case compile::Op::MaxPool:
+        case compile::Op::AvgPool:
+            e.poolK = n.poolK;
+            e.poolStride = n.poolStride;
+            break;
+        case compile::Op::Input:
+        case compile::Op::Relu:
+        case compile::Op::Flatten:
+        case compile::Op::Add:
+            break;
+        }
+        execs.push_back(std::move(e));
+    }
+    return execs;
+}
+
+Tensor
+runGraph(const compile::Graph &g, const std::vector<NodeExec> &execs,
+         const Tensor &batch, ThreadPool &tp, int input_bits,
+         std::vector<arch::EngineStats> &stats,
+         const std::function<void(size_t, double)> &on_programmed)
+{
+    FORMS_ASSERT(stats.size() == execs.size(),
+                 "runGraph: stats accumulators must parallel execs");
+
+    // Reference-counted value slots, indexed by node id. The input
+    // node aliases the caller's batch; every other node owns its
+    // output until the last consumer (or the graph output) is done.
+    struct Slot
+    {
+        const Tensor *ref = nullptr;
+        Tensor owned;
+        int remaining = 0;
+    };
+    std::vector<Slot> slots(static_cast<size_t>(g.capacity()));
+    for (const NodeExec &e : execs)
+        for (int in : e.inputs)
+            ++slots[static_cast<size_t>(in)].remaining;
+    ++slots[static_cast<size_t>(g.output())].remaining;
+
+    for (size_t idx = 0; idx < execs.size(); ++idx) {
+        const NodeExec &e = execs[idx];
+        Slot &out = slots[static_cast<size_t>(e.nodeId)];
+        auto in = [&](size_t i) -> const Tensor & {
+            return *slots[static_cast<size_t>(e.inputs[i])].ref;
+        };
+
+        switch (e.op) {
+        case compile::Op::Input:
+            out.ref = &batch;
+            break;
+        case compile::Op::Conv: {
+            const double before = stats[idx].timeNs;
+            out.owned = convStage(in(0), *e.engine, *e.mapped, e.bias,
+                                  e.chanScale, e.outC, e.k, e.stride,
+                                  e.pad, input_bits, tp, &stats[idx]);
+            if (on_programmed)
+                on_programmed(idx, stats[idx].timeNs - before);
+            break;
+        }
+        case compile::Op::Dense: {
+            const double before = stats[idx].timeNs;
+            out.owned = denseStage(in(0), *e.engine, *e.mapped, e.bias,
+                                   e.outC, input_bits, tp, &stats[idx]);
+            if (on_programmed)
+                on_programmed(idx, stats[idx].timeNs - before);
+            break;
+        }
+        case compile::Op::BatchNorm:
+            out.owned = batchNormStage(in(0), e.bnScale, e.bnShift, tp);
+            break;
+        case compile::Op::Relu:
+            out.owned = relu(in(0));
+            break;
+        case compile::Op::MaxPool:
+            out.owned = maxPool2d(in(0), e.poolK, e.poolStride, nullptr);
+            break;
+        case compile::Op::AvgPool:
+            out.owned = avgPool2d(in(0), e.poolK, e.poolStride);
+            break;
+        case compile::Op::Flatten: {
+            const Tensor &x = in(0);
+            const int64_t n = x.dim(0);
+            out.owned = x.reshaped({n, x.numel() / n});
+            break;
+        }
+        case compile::Op::Add: {
+            // Join node: fixed left-then-right accumulation order, so
+            // the float sums are reproducible (DESIGN.md §4). Steal
+            // the left operand's buffer when this is its last use
+            // instead of deep-copying a full activation tensor.
+            Slot &lhs = slots[static_cast<size_t>(e.inputs[0])];
+            if (lhs.remaining == 1 && lhs.ref == &lhs.owned)
+                out.owned = std::move(lhs.owned);
+            else
+                out.owned = in(0);
+            out.owned.add(in(1));
+            break;
+        }
+        }
+        if (!out.ref)
+            out.ref = &out.owned;
+
+        // Release producer buffers whose consumers are all done.
+        for (int src : e.inputs) {
+            Slot &p = slots[static_cast<size_t>(src)];
+            if (--p.remaining == 0 && p.ref == &p.owned) {
+                p.owned = Tensor();
+                p.ref = nullptr;
+            }
+        }
+    }
+    return *slots[static_cast<size_t>(g.output())].ref;
+}
+
+void
+recordNodeRows(const std::vector<NodeExec> &execs,
+               const std::vector<arch::EngineStats> &stats,
+               RuntimeReport &report)
+{
+    size_t programmed_idx = 0;
+    for (size_t idx = 0; idx < execs.size(); ++idx) {
+        const NodeExec &e = execs[idx];
+        if (!e.engine)
+            continue;
+        recordLayer(report, programmed_idx, e.name, stats[idx],
+                    e.mapped->numCrossbars(), stats[idx].presentations);
+        ++programmed_idx;
+    }
+}
+
+} // namespace forms::sim

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Shared DAG-execution core of the graph-based runtimes.
+ *
+ * GraphRuntime (one engine set) and PipelineRuntime (per-chip engine
+ * pools) execute a compiled graph identically — the pipeline only
+ * adds a partition and a timing model on top. Both build their node
+ * list with buildNodeExecs() and stream batches with runGraph(), so
+ * the op dispatch, the refcounted buffer walk and the Add-join
+ * accumulation order live in exactly one place and the two runtimes
+ * cannot drift apart numerically (their bit-identity is asserted by
+ * tests/test_pipeline_runtime.cc and bench_fig15_multichip).
+ *
+ * Thread-safety: buildNodeExecs() and runGraph() must be called from
+ * one thread per engine set (engines advance mutable presentation
+ * streams); runGraph() shards its work across the given ThreadPool.
+ */
+
+#ifndef FORMS_SIM_GRAPH_EXEC_HH
+#define FORMS_SIM_GRAPH_EXEC_HH
+
+#include <functional>
+
+#include "arch/chip.hh"
+#include "compile/graph.hh"
+#include "sim/runtime.hh"
+
+namespace forms::sim {
+
+/**
+ * One executable node of a compiled DAG. Engines and mappings are
+ * owned by the arch::EnginePool the node was programmed into; the
+ * exec only points at them, so it is freely movable/copyable.
+ */
+struct NodeExec
+{
+    compile::Op op = compile::Op::Input;
+    int nodeId = -1;
+    int chip = 0;              //!< owning chip (0 for single-chip runtimes)
+    std::string name;
+    std::vector<int> inputs;   //!< producer node ids
+
+    // Conv / Dense: the programmed hardware, owned by the chip's pool.
+    arch::CrossbarEngine *engine = nullptr;
+    const arch::MappedLayer *mapped = nullptr;
+    int outC = 0, k = 0, stride = 0, pad = 0;
+    std::vector<float> bias;
+    std::vector<float> chanScale;  //!< digital BN fold (may be empty)
+
+    // Pooling geometry.
+    int poolK = 0, poolStride = 0;
+
+    // Unfolded BatchNorm, eval mode: y = x * scale[c] + shift[c].
+    std::vector<float> bnScale, bnShift;
+};
+
+/**
+ * Build the executable form of every node in `topo`: map and program
+ * matrix nodes into pools[chip_of(id)] (device variation draws at
+ * program time), snapshot eval-mode BN affines, copy conv/pool
+ * geometry and the digital output stage.
+ *
+ * @param layers per-layer compression state, matched to matrix nodes
+ *        by weight-tensor identity; fatal()s when a node has none
+ * @param chip_of node id -> chip index in [0, pools.size())
+ */
+std::vector<NodeExec>
+buildNodeExecs(const compile::Graph &g, const std::vector<int> &topo,
+               std::vector<admm::LayerState> &layers,
+               const RuntimeConfig &cfg,
+               std::vector<arch::EnginePool> &pools,
+               const std::function<int(int)> &chip_of);
+
+/**
+ * Stream one NCHW batch through the DAG in `execs` order (a
+ * topological order of `g`) with reference-counted intermediate
+ * buffers and fixed left-then-right Add joins (DESIGN.md §4).
+ * Returns a copy of the graph output.
+ *
+ * @param stats per-exec EngineStats accumulators (parallel to
+ *        `execs`); each programmed node's batch stats merge into its
+ *        slot in presentation order, so reusing the same vector
+ *        across calls reproduces one engine-lifetime serial fold
+ * @param on_programmed optional; fired after each programmed node
+ *        with (exec index, modeled-time delta this batch added)
+ */
+Tensor runGraph(const compile::Graph &g,
+                const std::vector<NodeExec> &execs, const Tensor &batch,
+                ThreadPool &tp, int input_bits,
+                std::vector<arch::EngineStats> &stats,
+                const std::function<void(size_t, double)> &on_programmed =
+                    {});
+
+/**
+ * Merge every programmed exec's accumulated stats into `report` rows
+ * (one row per programmed node, topological order) — the row
+ * semantics both graph runtimes expose, kept in one place so their
+ * reports stay interchangeable.
+ */
+void recordNodeRows(const std::vector<NodeExec> &execs,
+                    const std::vector<arch::EngineStats> &stats,
+                    RuntimeReport &report);
+
+} // namespace forms::sim
+
+#endif // FORMS_SIM_GRAPH_EXEC_HH

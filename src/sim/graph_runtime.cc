@@ -1,130 +1,18 @@
 #include "sim/graph_runtime.hh"
 
 #include <chrono>
-#include <cmath>
 
-#include "nn/layers.hh"
 #include "sim/stage_kernels.hh"
-#include "tensor/ops.hh"
 
 namespace forms::sim {
-
-/** One executable node of the DAG. */
-struct GraphRuntime::Exec
-{
-    compile::Op op;
-    int nodeId = -1;
-    std::string name;
-    std::vector<int> inputs;   //!< producer node ids
-
-    // Conv / Dense: the programmed hardware. `engine` references
-    // `mapped`, which is why execs live behind unique_ptr and never
-    // move after construction.
-    arch::MappedLayer mapped;
-    std::unique_ptr<arch::CrossbarEngine> engine;
-    int outC = 0, k = 0, stride = 0, pad = 0;
-    std::vector<float> bias;
-    std::vector<float> chanScale;  //!< digital BN fold (may be empty)
-
-    // Pooling geometry.
-    int poolK = 0, poolStride = 0;
-
-    // Unfolded BatchNorm, eval mode: y = x * scale[c] + shift[c].
-    std::vector<float> bnScale, bnShift;
-};
-
-namespace {
-
-std::vector<float>
-biasOf(const Tensor &b)
-{
-    return std::vector<float>(b.data(), b.data() + b.numel());
-}
-
-} // namespace
 
 GraphRuntime::GraphRuntime(const compile::Graph &graph,
                            std::vector<admm::LayerState> &layers,
                            RuntimeConfig cfg)
-    : graph_(graph), topo_(graph.topoOrder()), cfg_(cfg)
+    : graph_(graph), topo_(graph.topoOrder()), pools_(1), cfg_(cfg)
 {
-    for (int id : topo_) {
-        const compile::Node &n = graph_.node(id);
-        auto e = std::make_unique<Exec>();
-        e->op = n.op;
-        e->nodeId = id;
-        e->name = n.name;
-        e->inputs = n.inputs;
-
-        switch (n.op) {
-        case compile::Op::Conv: {
-            admm::LayerState *st =
-                findLayerState(layers, &n.conv->weight());
-            if (!st) {
-                fatal("graph runtime: no compression state for conv "
-                      "node '%s'", n.name.c_str());
-            }
-            e->mapped = arch::mapLayer(*st, cfg_.mapping);
-            e->engine = std::make_unique<arch::CrossbarEngine>(
-                e->mapped, cfg_.engine);
-            e->outC = n.conv->outChannels();
-            e->k = n.conv->kernel();
-            e->stride = n.conv->stride();
-            e->pad = n.conv->pad();
-            // A digital output stage (BN folded into the periphery)
-            // replaces the plain layer bias.
-            if (!n.outScale.empty()) {
-                e->chanScale = n.outScale;
-                e->bias = n.outBias;
-            } else {
-                e->bias = biasOf(n.conv->bias());
-            }
-            break;
-        }
-        case compile::Op::Dense: {
-            admm::LayerState *st =
-                findLayerState(layers, &n.dense->weight());
-            if (!st) {
-                fatal("graph runtime: no compression state for dense "
-                      "node '%s'", n.name.c_str());
-            }
-            e->mapped = arch::mapLayer(*st, cfg_.mapping);
-            e->engine = std::make_unique<arch::CrossbarEngine>(
-                e->mapped, cfg_.engine);
-            e->outC = n.dense->outDim();
-            e->bias = biasOf(n.dense->bias());
-            break;
-        }
-        case compile::Op::BatchNorm: {
-            // Left unfolded (e.g. BN not preceded by a private conv):
-            // snapshot the eval-mode affine.
-            const int c = n.bn->channels();
-            e->bnScale.resize(static_cast<size_t>(c));
-            e->bnShift.resize(static_cast<size_t>(c));
-            for (int i = 0; i < c; ++i) {
-                const float sigma = std::sqrt(
-                    n.bn->runningVar().at(i) + n.bn->eps());
-                const float s = n.bn->gamma().at(i) / sigma;
-                e->bnScale[static_cast<size_t>(i)] = s;
-                e->bnShift[static_cast<size_t>(i)] =
-                    n.bn->beta().at(i) -
-                    s * n.bn->runningMean().at(i);
-            }
-            break;
-        }
-        case compile::Op::MaxPool:
-        case compile::Op::AvgPool:
-            e->poolK = n.poolK;
-            e->poolStride = n.poolStride;
-            break;
-        case compile::Op::Input:
-        case compile::Op::Relu:
-        case compile::Op::Flatten:
-        case compile::Op::Add:
-            break;
-        }
-        execs_.push_back(std::move(e));
-    }
+    execs_ = buildNodeExecs(graph_, topo_, layers, cfg_, pools_,
+                            [](int) { return 0; });
 }
 
 GraphRuntime::~GraphRuntime() = default;
@@ -144,34 +32,27 @@ GraphRuntime::nodes() const
 size_t
 GraphRuntime::programmedNodes() const
 {
-    size_t n = 0;
-    for (const auto &e : execs_)
-        n += e->engine != nullptr;
-    return n;
+    return pools_[0].size();
 }
 
 int64_t
 GraphRuntime::totalCrossbars() const
 {
-    int64_t n = 0;
-    for (const auto &e : execs_)
-        if (e->engine)
-            n += e->mapped.numCrossbars();
-    return n;
+    return pools_[0].totalCrossbars();
 }
 
 std::vector<GraphNodeAlloc>
 GraphRuntime::allocation() const
 {
     std::vector<GraphNodeAlloc> out;
-    for (const auto &e : execs_) {
-        if (!e->engine)
+    for (const NodeExec &e : execs_) {
+        if (!e.engine)
             continue;
         GraphNodeAlloc a;
-        a.nodeId = e->nodeId;
-        a.name = e->name;
-        a.outShape = graph_.node(e->nodeId).outShape;
-        a.crossbars = e->mapped.numCrossbars();
+        a.nodeId = e.nodeId;
+        a.name = e.name;
+        a.outShape = graph_.node(e.nodeId).outShape;
+        a.crossbars = e.mapped->numCrossbars();
         out.push_back(std::move(a));
     }
     return out;
@@ -180,39 +61,8 @@ GraphRuntime::allocation() const
 void
 GraphRuntime::resetPresentationStreams()
 {
-    for (auto &e : execs_)
-        if (e->engine)
-            e->engine->resetPresentationStream();
+    pools_[0].resetPresentationStreams();
 }
-
-namespace {
-
-/** Eval-mode batch normalization on an NCHW batch. */
-Tensor
-batchNormEval(const Tensor &in, const std::vector<float> &scale,
-              const std::vector<float> &shift, ThreadPool &tp)
-{
-    const int64_t n = in.dim(0);
-    const int64_t c = in.dim(1);
-    const int64_t plane = in.dim(2) * in.dim(3);
-    Tensor out(in.shape());
-    const float *pi = in.data();
-    float *po = out.data();
-    // One (image, channel) plane per index: disjoint writes, and the
-    // per-element computation is order-free, so this is deterministic
-    // for any thread count.
-    tp.parallelFor(0, n * c, 4, [&](int64_t j, int) {
-        const float s = scale[static_cast<size_t>(j % c)];
-        const float b = shift[static_cast<size_t>(j % c)];
-        const float *src = pi + j * plane;
-        float *dst = po + j * plane;
-        for (int64_t i = 0; i < plane; ++i)
-            dst[i] = src[i] * s + b;
-    });
-    return out;
-}
-
-} // namespace
 
 Tensor
 GraphRuntime::forward(const Tensor &batch, RuntimeReport *report)
@@ -222,105 +72,13 @@ GraphRuntime::forward(const Tensor &batch, RuntimeReport *report)
     // Route the shared tensor kernels (relu, pooling, im2col) through
     // this runtime's pool too: every node shards on one pool.
     PoolScope scope(tp);
-    const int in_bits = cfg_.mapping.inputBits;
 
-    // Reference-counted value slots, indexed by node id. The input
-    // node aliases the caller's batch; every other node owns its
-    // output until the last consumer (or the graph output) is done.
-    struct Slot
-    {
-        const Tensor *ref = nullptr;
-        Tensor owned;
-        int remaining = 0;
-    };
-    std::vector<Slot> slots(static_cast<size_t>(graph_.capacity()));
-    for (const auto &e : execs_)
-        for (int in : e->inputs)
-            ++slots[static_cast<size_t>(in)].remaining;
-    ++slots[static_cast<size_t>(graph_.output())].remaining;
+    std::vector<arch::EngineStats> node_stats(execs_.size());
+    Tensor result = runGraph(graph_, execs_, batch, tp,
+                             cfg_.mapping.inputBits, node_stats);
 
-    size_t programmed_idx = 0;
-    for (const auto &ep : execs_) {
-        Exec &e = *ep;
-        Slot &out = slots[static_cast<size_t>(e.nodeId)];
-        auto in = [&](size_t i) -> const Tensor & {
-            return *slots[static_cast<size_t>(e.inputs[i])].ref;
-        };
-
-        switch (e.op) {
-        case compile::Op::Input:
-            out.ref = &batch;
-            break;
-        case compile::Op::Conv: {
-            arch::EngineStats st;
-            out.owned = convStage(in(0), *e.engine, e.mapped, e.bias,
-                                  e.chanScale, e.outC, e.k, e.stride,
-                                  e.pad, in_bits, tp, &st);
-            if (report) {
-                recordLayer(*report, programmed_idx, e.name, st,
-                            e.mapped.numCrossbars(), st.presentations);
-            }
-            ++programmed_idx;
-            break;
-        }
-        case compile::Op::Dense: {
-            arch::EngineStats st;
-            out.owned = denseStage(in(0), *e.engine, e.mapped, e.bias,
-                                   e.outC, in_bits, tp, &st);
-            if (report) {
-                recordLayer(*report, programmed_idx, e.name, st,
-                            e.mapped.numCrossbars(), st.presentations);
-            }
-            ++programmed_idx;
-            break;
-        }
-        case compile::Op::BatchNorm:
-            out.owned = batchNormEval(in(0), e.bnScale, e.bnShift, tp);
-            break;
-        case compile::Op::Relu:
-            out.owned = relu(in(0));
-            break;
-        case compile::Op::MaxPool:
-            out.owned = maxPool2d(in(0), e.poolK, e.poolStride, nullptr);
-            break;
-        case compile::Op::AvgPool:
-            out.owned = avgPool2d(in(0), e.poolK, e.poolStride);
-            break;
-        case compile::Op::Flatten: {
-            const Tensor &x = in(0);
-            const int64_t n = x.dim(0);
-            out.owned = x.reshaped({n, x.numel() / n});
-            break;
-        }
-        case compile::Op::Add: {
-            // Join node: fixed left-then-right accumulation order, so
-            // the float sums are reproducible (DESIGN.md §4). Steal
-            // the left operand's buffer when this is its last use
-            // instead of deep-copying a full activation tensor.
-            Slot &lhs = slots[static_cast<size_t>(e.inputs[0])];
-            if (lhs.remaining == 1 && lhs.ref == &lhs.owned)
-                out.owned = std::move(lhs.owned);
-            else
-                out.owned = in(0);
-            out.owned.add(in(1));
-            break;
-        }
-        }
-        if (!out.ref)
-            out.ref = &out.owned;
-
-        // Release producer buffers whose consumers are all done.
-        for (int src : e.inputs) {
-            Slot &p = slots[static_cast<size_t>(src)];
-            if (--p.remaining == 0 && p.ref == &p.owned) {
-                p.owned = Tensor();
-                p.ref = nullptr;
-            }
-        }
-    }
-
-    Tensor result = *slots[static_cast<size_t>(graph_.output())].ref;
     if (report) {
+        recordNodeRows(execs_, node_stats, *report);
         report->wallMs += std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - t0).count();
     }

@@ -18,6 +18,12 @@
  * engine's presentation RNG stream is keyed by (variationSeed, global
  * presentation index).
  *
+ * Thread-safety: one forward()/accuracy() call at a time per runtime
+ * (engines advance mutable presentation streams); the call itself
+ * shards across the configured ThreadPool internally. Distinct
+ * GraphRuntime instances are independent. The borrowed graph and
+ * layer states must not be mutated while the runtime is alive.
+ *
  * Typical flow:
  *
  *     auto graph = compile::lowerNetwork(net);
@@ -30,9 +36,8 @@
 #ifndef FORMS_SIM_GRAPH_RUNTIME_HH
 #define FORMS_SIM_GRAPH_RUNTIME_HH
 
-#include <memory>
-
 #include "compile/graph.hh"
+#include "sim/graph_exec.hh"
 #include "sim/runtime.hh"
 
 namespace forms::sim {
@@ -96,10 +101,10 @@ class GraphRuntime
     std::vector<GraphNodeAlloc> allocation() const;
 
   private:
-    struct Exec;
     const compile::Graph &graph_;
-    std::vector<int> topo_;                    //!< fixed node schedule
-    std::vector<std::unique_ptr<Exec>> execs_; //!< parallel to topo_
+    std::vector<int> topo_;               //!< fixed node schedule
+    std::vector<arch::EnginePool> pools_; //!< one pool (single chip)
+    std::vector<NodeExec> execs_;         //!< parallel to topo_
     RuntimeConfig cfg_;
 
     ThreadPool &pool() const;

@@ -211,6 +211,20 @@ PerfModel::evaluate(const ArchModel &arch, const Workload &workload,
     return res;
 }
 
+double
+InterChipLink::transferNs(int64_t bytes) const
+{
+    const double stream_ns = gbPerSec > 0.0
+        ? static_cast<double>(bytes) / gbPerSec : 0.0;
+    return latencyNs + stream_ns;
+}
+
+double
+InterChipLink::transferPj(int64_t bytes) const
+{
+    return pjPerByte * static_cast<double>(bytes);
+}
+
 std::vector<ReferencePoint>
 tableVReferencePoints()
 {

@@ -137,6 +137,27 @@ class PerfModel
     mutable std::vector<std::pair<int, double>> eicCache_;
 };
 
+/**
+ * Inter-chip link cost model for the multi-chip pipeline scheduler
+ * (compile/schedule.hh + sim/pipeline_runtime.hh). A tensor hopping
+ * one chip boundary pays a fixed serialization latency plus a
+ * bandwidth-proportional term; energy is charged per byte moved. The
+ * defaults model a short-reach SerDes-class link; they are knobs, not
+ * paper data (the paper evaluates a single chip).
+ */
+struct InterChipLink
+{
+    double latencyNs = 50.0;   //!< fixed per-hop serialization latency
+    double gbPerSec = 25.0;    //!< link bandwidth (bytes stream at this rate)
+    double pjPerByte = 1.0;    //!< transfer energy per byte
+
+    /** Modeled time for one hop of `bytes` (fixed + bandwidth term). */
+    double transferNs(int64_t bytes) const;
+
+    /** Modeled energy for one hop of `bytes`. */
+    double transferPj(int64_t bytes) const;
+};
+
 /** Published reference design points for Table V (paper's numbers). */
 struct ReferencePoint
 {

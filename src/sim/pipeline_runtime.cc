@@ -1,0 +1,201 @@
+#include "sim/pipeline_runtime.hh"
+
+#include <chrono>
+#include <cstring>
+
+#include "sim/stage_kernels.hh"
+
+namespace forms::sim {
+
+PipelineRuntime::PipelineRuntime(const compile::Graph &graph,
+                                 compile::Schedule sched,
+                                 std::vector<admm::LayerState> &layers,
+                                 PipelineRuntimeConfig cfg)
+    : graph_(graph), sched_(std::move(sched)), topo_(graph.topoOrder()),
+      pools_(static_cast<size_t>(sched_.chips())), cfg_(cfg)
+{
+    execs_ = buildNodeExecs(graph_, topo_, layers, cfg_.runtime, pools_,
+                            [this](int id) { return sched_.chipOf(id); });
+}
+
+PipelineRuntime::~PipelineRuntime() = default;
+
+ThreadPool &
+PipelineRuntime::pool() const
+{
+    return cfg_.runtime.pool ? *cfg_.runtime.pool : ThreadPool::global();
+}
+
+int64_t
+PipelineRuntime::totalCrossbars() const
+{
+    int64_t n = 0;
+    for (const auto &p : pools_)
+        n += p.totalCrossbars();
+    return n;
+}
+
+void
+PipelineRuntime::resetPresentationStreams()
+{
+    for (auto &p : pools_)
+        p.resetPresentationStreams();
+}
+
+Tensor
+PipelineRuntime::forward(const Tensor &batch, PipelineReport *report)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    ThreadPool &tp = pool();
+    PoolScope scope(tp);
+
+    const int64_t images = batch.dim(0);
+    FORMS_ASSERT(images > 0, "pipeline forward: empty batch");
+    const int64_t mb = std::max<int64_t>(
+        1, std::min<int64_t>(cfg_.microBatch, images));
+    const int num_mb = static_cast<int>((images + mb - 1) / mb);
+    const int64_t sample_elems = batch.numel() / images;
+    const int n_chips = sched_.chips();
+
+    // Engine-lifetime stat accumulators, one per node. Every
+    // micro-batch's mvmBatch merges into the same accumulator, so the
+    // final fold has the exact presentation order (and floating-point
+    // grouping) of one full-batch GraphRuntime forward — the
+    // bit-identical contract across micro-batch sizes.
+    std::vector<arch::EngineStats> node_stats(execs_.size());
+
+    // Modeled per-(chip, micro-batch) busy time, from the ADC-limited
+    // engine time each stage added to its node accumulator.
+    std::vector<std::vector<double>> busy(
+        static_cast<size_t>(n_chips),
+        std::vector<double>(static_cast<size_t>(num_mb), 0.0));
+
+    std::vector<Tensor> mb_out(static_cast<size_t>(num_mb));
+    for (int m = 0; m < num_mb; ++m) {
+        const int64_t lo = static_cast<int64_t>(m) * mb;
+        const int64_t count = std::min(mb, images - lo);
+        Shape micro_shape = batch.shape();
+        micro_shape[0] = count;
+        Tensor micro(micro_shape);
+        std::memcpy(micro.data(), batch.data() + lo * sample_elems,
+                    static_cast<size_t>(count * sample_elems) *
+                        sizeof(float));
+
+        mb_out[static_cast<size_t>(m)] = runGraph(
+            graph_, execs_, micro, tp, cfg_.runtime.mapping.inputBits,
+            node_stats, [&](size_t idx, double dt) {
+                busy[static_cast<size_t>(execs_[idx].chip)]
+                    [static_cast<size_t>(m)] += dt;
+            });
+    }
+
+    // Stitch the micro-batch outputs back into one batch tensor.
+    Shape out_shape = mb_out[0].shape();
+    out_shape[0] = images;
+    Tensor result(out_shape);
+    const int64_t out_sample = mb_out[0].numel() / mb_out[0].dim(0);
+    int64_t row = 0;
+    for (const Tensor &part : mb_out) {
+        std::memcpy(result.data() + row * out_sample, part.data(),
+                    static_cast<size_t>(part.numel()) * sizeof(float));
+        row += part.dim(0);
+    }
+
+    if (report) {
+        // Per-node rows in topological order — same names, order and
+        // merged stats as a GraphRuntime forward of the whole batch.
+        recordNodeRows(execs_, node_stats, report->nodes);
+        report->nodes.wallMs +=
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0).count();
+
+        // Modeled pipeline schedule: chip s starts micro-batch m once
+        // (a) its inbound transfers for m have landed and (b) it
+        // finished m-1. done[s][m] closes the recurrence.
+        std::vector<std::vector<double>> xfer(
+            static_cast<size_t>(n_chips),
+            std::vector<double>(static_cast<size_t>(num_mb), 0.0));
+        std::vector<double> xfer_pj(static_cast<size_t>(n_chips), 0.0);
+        for (const compile::Transfer &t : sched_.transfers()) {
+            for (int m = 0; m < num_mb; ++m) {
+                const int64_t count = std::min(
+                    mb, images - static_cast<int64_t>(m) * mb);
+                const int64_t bytes = t.bytesPerSample * count;
+                xfer[static_cast<size_t>(t.toChip)]
+                    [static_cast<size_t>(m)] +=
+                    cfg_.link.transferNs(bytes);
+                xfer_pj[static_cast<size_t>(t.toChip)] +=
+                    cfg_.link.transferPj(bytes);
+            }
+        }
+        std::vector<std::vector<double>> done(
+            static_cast<size_t>(n_chips),
+            std::vector<double>(static_cast<size_t>(num_mb), 0.0));
+        for (int s = 0; s < n_chips; ++s) {
+            for (int m = 0; m < num_mb; ++m) {
+                const double arrive =
+                    (s > 0 ? done[static_cast<size_t>(s) - 1]
+                                 [static_cast<size_t>(m)] : 0.0) +
+                    xfer[static_cast<size_t>(s)][static_cast<size_t>(m)];
+                const double start = std::max(
+                    arrive, m > 0 ? done[static_cast<size_t>(s)]
+                                        [static_cast<size_t>(m) - 1]
+                                  : 0.0);
+                done[static_cast<size_t>(s)][static_cast<size_t>(m)] =
+                    start +
+                    busy[static_cast<size_t>(s)][static_cast<size_t>(m)];
+            }
+        }
+        const double makespan =
+            done[static_cast<size_t>(n_chips) - 1]
+                [static_cast<size_t>(num_mb) - 1];
+
+        report->chips.clear();
+        double total_busy = 0.0, total_xfer_ns = 0.0, total_xfer_pj = 0.0;
+        for (int s = 0; s < n_chips; ++s) {
+            ChipReport c;
+            c.chip = s;
+            c.nodes = sched_.chipNodes()[static_cast<size_t>(s)].size();
+            c.programmedNodes = pools_[static_cast<size_t>(s)].size();
+            c.crossbars = pools_[static_cast<size_t>(s)].totalCrossbars();
+            // Per-chip stats: node accumulators merged in topological
+            // (presentation) order — deterministic for any thread
+            // count and micro-batch size.
+            for (size_t idx = 0; idx < execs_.size(); ++idx) {
+                if (execs_[idx].engine && execs_[idx].chip == s)
+                    c.stats.merge(node_stats[idx]);
+            }
+            for (int m = 0; m < num_mb; ++m) {
+                c.computeNs += busy[static_cast<size_t>(s)]
+                                   [static_cast<size_t>(m)];
+                c.transferInNs += xfer[static_cast<size_t>(s)]
+                                      [static_cast<size_t>(m)];
+            }
+            c.transferInPj = xfer_pj[static_cast<size_t>(s)];
+            c.utilization = makespan > 0.0 ? c.computeNs / makespan : 0.0;
+            total_busy += c.computeNs;
+            total_xfer_ns += c.transferInNs;
+            total_xfer_pj += c.transferInPj;
+            report->chips.push_back(std::move(c));
+        }
+        report->microBatches = num_mb;
+        report->images = images;
+        report->makespanNs = makespan;
+        report->bubbleFraction = makespan > 0.0
+            ? 1.0 - total_busy / (static_cast<double>(n_chips) * makespan)
+            : 0.0;
+        report->transferNs = total_xfer_ns;
+        report->transferPj = total_xfer_pj;
+    }
+    return result;
+}
+
+double
+PipelineRuntime::accuracy(const Tensor &images,
+                          const std::vector<int> &labels,
+                          PipelineReport *report)
+{
+    return logitsAccuracy(forward(images, report), labels);
+}
+
+} // namespace forms::sim

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Multi-chip pipelined executor for partitioned layer graphs.
+ *
+ * PipelineRuntime takes a compile::Graph plus a compile::Schedule
+ * (the chip partition), programs each matrix node's engine into its
+ * chip's arch::EnginePool, and streams batches through the DAG as a
+ * micro-batch pipeline: while chip k computes its nodes on
+ * micro-batch b, chip k-1 computes micro-batch b+1. Inter-chip edges
+ * are the schedule's explicit Transfer records, charged with a
+ * sim::InterChipLink latency/energy cost on the receiving chip.
+ *
+ * The pipeline overlap is a *timing model* layered on a functionally
+ * exact execution: numerically, every micro-batch flows through the
+ * identical kernels (sim/stage_kernels.hh) in the graph's
+ * deterministic topological order, so
+ *
+ *   - logits are bit-identical to sim::GraphRuntime on the same
+ *     graph, for ANY chip count, micro-batch size and thread count
+ *     (chips shard work in the model, not in the arithmetic), and
+ *   - per-node EngineStats accumulate through one engine-lifetime
+ *     fold in presentation order — each micro-batch's mvmBatch merges
+ *     into the same per-node accumulator — reproducing the exact
+ *     full-batch floating-point merge order (DESIGN.md §5).
+ *
+ * Per-chip stats merge the chip's node accumulators in topological
+ * (presentation) order, preserving the bit-identical contract of
+ * DESIGN.md §3/§4 across chips, micro-batches and thread counts.
+ *
+ * Thread-safety: construction and forward() must be called from one
+ * thread at a time (the runtime owns mutable engine streams); the
+ * internal work shards on the configured ThreadPool. Distinct
+ * PipelineRuntime instances are independent.
+ *
+ * Typical flow:
+ *
+ *     auto graph = compile::lowerNetwork(net);
+ *     compile::foldBatchNorm(graph);
+ *     graph.inferShapes({3, 32, 32});
+ *     auto sched = compile::Schedule::partition(graph, {4, {}});
+ *     auto states = sim::snapshotCompress(net, frag, bits);
+ *     sim::PipelineRuntime rt(graph, sched, states, cfg);
+ *     Tensor logits = rt.forward(batch, &report);
+ */
+
+#ifndef FORMS_SIM_PIPELINE_RUNTIME_HH
+#define FORMS_SIM_PIPELINE_RUNTIME_HH
+
+#include "compile/schedule.hh"
+#include "sim/graph_exec.hh"
+#include "sim/perf_model.hh"
+#include "sim/runtime.hh"
+
+namespace forms::sim {
+
+/** Pipelined runtime construction knobs. */
+struct PipelineRuntimeConfig
+{
+    RuntimeConfig runtime;  //!< geometry, engine knobs, host pool
+    int microBatch = 1;     //!< images per pipeline micro-batch
+    InterChipLink link;     //!< inter-chip transfer cost model
+};
+
+/** One chip's slice of a pipeline report. */
+struct ChipReport
+{
+    int chip = -1;
+    size_t nodes = 0;            //!< graph nodes assigned
+    size_t programmedNodes = 0;  //!< crossbar-programmed among them
+    int64_t crossbars = 0;
+    arch::EngineStats stats;     //!< node accumulators merged in topo order
+    double computeNs = 0.0;      //!< modeled busy time over the batch
+    double transferInNs = 0.0;   //!< modeled wait on the inbound link
+    double transferInPj = 0.0;   //!< inbound link energy
+    double utilization = 0.0;    //!< computeNs / pipeline makespan
+};
+
+/**
+ * Pipeline execution report. `nodes` carries the same per-node rows
+ * (names, order, merged stats) a GraphRuntime forward of the same
+ * batch would produce; the pipeline-level fields summarize the
+ * modeled multi-chip schedule.
+ */
+struct PipelineReport
+{
+    RuntimeReport nodes;          //!< per-node rows, GraphRuntime-compatible
+    std::vector<ChipReport> chips;
+    int microBatches = 0;
+    int64_t images = 0;
+    double makespanNs = 0.0;      //!< modeled pipeline completion time
+    double bubbleFraction = 0.0;  //!< 1 - sum(compute) / (chips * makespan)
+    double transferNs = 0.0;      //!< total modeled link time
+    double transferPj = 0.0;      //!< total modeled link energy
+
+    /** Modeled pipeline throughput over this report's images. */
+    double modeledFps() const
+    {
+        return makespanNs > 0.0
+            ? static_cast<double>(images) / (makespanNs * 1e-9) : 0.0;
+    }
+};
+
+/** Executes a partitioned, folded, compressed layer graph. */
+class PipelineRuntime
+{
+  public:
+    /**
+     * Map and program every Conv/Dense node of `graph` into its
+     * chip's engine pool.
+     *
+     * @param graph the compiled DAG; borrowed (with its backing
+     *        nn::Network) — both must outlive the runtime
+     * @param sched chip partition from compile::Schedule::partition
+     *        on this same graph (copied; the schedule may be dropped)
+     * @param layers per-layer compression state, matched to matrix
+     *        nodes by weight-tensor identity — build *after*
+     *        foldBatchNorm so projections see folded weights
+     * @param cfg geometry, engine knobs, micro-batch size, link model
+     */
+    PipelineRuntime(const compile::Graph &graph,
+                    compile::Schedule sched,
+                    std::vector<admm::LayerState> &layers,
+                    PipelineRuntimeConfig cfg);
+    ~PipelineRuntime();
+
+    PipelineRuntime(const PipelineRuntime &) = delete;
+    PipelineRuntime &operator=(const PipelineRuntime &) = delete;
+
+    /**
+     * Stream a whole NCHW batch through the pipeline in micro-batches.
+     * Returns the graph output (batch x classes for a classifier),
+     * bit-identical to GraphRuntime::forward on the same graph and
+     * batch. Per-node stats merge into `report->nodes` rows in
+     * topological order; chip/pipeline fields are overwritten (they
+     * describe this forward, not an accumulation).
+     */
+    Tensor forward(const Tensor &batch, PipelineReport *report = nullptr);
+
+    /** Fraction of argmax(logits) == label over a labelled batch. */
+    double accuracy(const Tensor &images, const std::vector<int> &labels,
+                    PipelineReport *report = nullptr);
+
+    /** Restart every chip's presentation RNG streams. */
+    void resetPresentationStreams();
+
+    /** The chip partition this runtime executes. */
+    const compile::Schedule &schedule() const { return sched_; }
+
+    /** Number of pipeline chips. */
+    int chips() const { return sched_.chips(); }
+
+    /** Configured images per micro-batch. */
+    int microBatch() const { return cfg_.microBatch; }
+
+    /** Total crossbars programmed across all chips. */
+    int64_t totalCrossbars() const;
+
+  private:
+    const compile::Graph &graph_;
+    compile::Schedule sched_;
+    std::vector<int> topo_;               //!< fixed node schedule
+    std::vector<arch::EnginePool> pools_; //!< one per chip
+    std::vector<NodeExec> execs_;         //!< parallel to topo_
+    PipelineRuntimeConfig cfg_;
+
+    ThreadPool &pool() const;
+};
+
+} // namespace forms::sim
+
+#endif // FORMS_SIM_PIPELINE_RUNTIME_HH

@@ -24,6 +24,12 @@
  * compile::foldBatchNorm, and execute the resulting DAG on
  * sim::GraphRuntime (sim/graph_runtime.hh), which shares these stage
  * kernels and the same determinism contract.
+ *
+ * Thread-safety: one forward()/accuracy() call at a time per runtime
+ * (engines advance mutable presentation streams); work shards across
+ * the configured ThreadPool internally. Distinct runtimes are
+ * independent. The network and layer states are borrowed and must
+ * outlive the runtime, unmutated.
  */
 
 #ifndef FORMS_SIM_RUNTIME_HH

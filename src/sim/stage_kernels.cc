@@ -127,6 +127,27 @@ denseStage(const Tensor &act, arch::CrossbarEngine &engine,
     return out;
 }
 
+Tensor
+batchNormStage(const Tensor &in, const std::vector<float> &scale,
+               const std::vector<float> &shift, ThreadPool &tp)
+{
+    const int64_t n = in.dim(0);
+    const int64_t c = in.dim(1);
+    const int64_t plane = in.dim(2) * in.dim(3);
+    Tensor out(in.shape());
+    const float *pi = in.data();
+    float *po = out.data();
+    tp.parallelFor(0, n * c, 4, [&](int64_t j, int) {
+        const float s = scale[static_cast<size_t>(j % c)];
+        const float b = shift[static_cast<size_t>(j % c)];
+        const float *src = pi + j * plane;
+        float *dst = po + j * plane;
+        for (int64_t i = 0; i < plane; ++i)
+            dst[i] = src[i] * s + b;
+    });
+    return out;
+}
+
 void
 recordLayer(RuntimeReport &report, size_t stage_idx,
             const std::string &name, const arch::EngineStats &stats,

@@ -50,6 +50,15 @@ Tensor denseStage(const Tensor &act, arch::CrossbarEngine &engine,
                   arch::EngineStats *stats);
 
 /**
+ * Eval-mode batch normalization on an NCHW batch:
+ * y[n,c,h,w] = x[n,c,h,w] * scale[c] + shift[c]. Parallelizes over
+ * (image, channel) planes — disjoint writes, order-free per element —
+ * so it is deterministic for any thread count.
+ */
+Tensor batchNormStage(const Tensor &in, const std::vector<float> &scale,
+                      const std::vector<float> &shift, ThreadPool &tp);
+
+/**
  * Accumulate one programmed stage's batch stats into a report that may
  * span several forward() calls: rows merge by stage position, so
  * reusing one report across minibatches sums per-layer stats instead

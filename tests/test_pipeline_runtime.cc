@@ -1,0 +1,244 @@
+/**
+ * @file
+ * PipelineRuntime tests: the multi-chip pipelined executor must hold
+ * the DESIGN.md §5 contract — logits and per-node EngineStats
+ * bit-identical across thread counts (1/4/8), micro-batch sizes and
+ * chip counts, and bit-identical to the single-graph GraphRuntime —
+ * with ADC quantization, device variation and read noise all enabled.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compile/passes.hh"
+#include "nn/zoo.hh"
+#include "sim/graph_runtime.hh"
+#include "sim/pipeline_runtime.hh"
+
+namespace forms {
+namespace {
+
+void
+expectStatsIdentical(const arch::EngineStats &a,
+                     const arch::EngineStats &b)
+{
+    EXPECT_EQ(a.presentations, b.presentations);
+    EXPECT_EQ(a.bitCycles, b.bitCycles);
+    EXPECT_EQ(a.skippedCycles, b.skippedCycles);
+    EXPECT_EQ(a.adcSamples, b.adcSamples);
+    EXPECT_EQ(a.adcEnergyPj, b.adcEnergyPj);
+    EXPECT_EQ(a.crossbarEnergyPj, b.crossbarEnergyPj);
+    EXPECT_EQ(a.timeNs, b.timeNs);
+}
+
+/** Compile + fold + compress a scaled ResNet, ready to program. */
+struct CompiledResNet
+{
+    std::unique_ptr<nn::Network> net;
+    compile::Graph graph;
+    std::vector<admm::LayerState> states;
+
+    explicit CompiledResNet(uint64_t seed)
+    {
+        Rng rng(seed);
+        net = nn::buildResNetSmall(rng, 4, 8, 1);
+        graph = compile::lowerNetwork(*net);
+        graph.inferShapes({3, 32, 32});
+        EXPECT_GT(compile::foldBatchNorm(graph), 0);
+        states = sim::snapshotCompress(*net, 8, 8);
+    }
+};
+
+/** ADC quantization + device variation + read noise all on. */
+sim::PipelineRuntimeConfig
+noisyConfig(ThreadPool *pool, int micro_batch)
+{
+    sim::PipelineRuntimeConfig cfg;
+    cfg.runtime.mapping.xbarRows = 64;
+    cfg.runtime.mapping.xbarCols = 64;
+    cfg.runtime.mapping.fragSize = 8;
+    cfg.runtime.mapping.inputBits = 8;
+    cfg.runtime.engine.adcBits = 3;
+    cfg.runtime.engine.cell.variationSigma = 0.1;
+    cfg.runtime.engine.readNoiseSigma = 0.02;
+    cfg.runtime.pool = pool;
+    cfg.microBatch = micro_batch;
+    return cfg;
+}
+
+compile::Schedule
+partitionFor(const compile::Graph &g, int chips)
+{
+    compile::ScheduleConfig scfg;
+    scfg.chips = chips;
+    return compile::Schedule::partition(g, scfg);
+}
+
+TEST(PipelineRuntime, OneChipMatchesGraphRuntimeBitwise)
+{
+    CompiledResNet c(111);
+    Rng rng(112);
+    Tensor batch({4, 3, 32, 32});
+    batch.fillUniform(rng, 0.0f, 1.0f);
+
+    ThreadPool pool(4);
+    sim::RuntimeConfig gcfg = noisyConfig(&pool, 1).runtime;
+    sim::GraphRuntime gr(c.graph, c.states, gcfg);
+    sim::RuntimeReport grep;
+    const Tensor ref = gr.forward(batch, &grep);
+
+    // Micro-batched single-chip pipeline: same logits, same per-node
+    // rows, bit for bit.
+    sim::PipelineRuntime pr(c.graph, partitionFor(c.graph, 1), c.states,
+                            noisyConfig(&pool, 2));
+    sim::PipelineReport prep;
+    const Tensor got = pr.forward(batch, &prep);
+
+    EXPECT_TRUE(got.equals(ref));
+    ASSERT_EQ(prep.nodes.layers.size(), grep.layers.size());
+    for (size_t i = 0; i < grep.layers.size(); ++i) {
+        EXPECT_EQ(prep.nodes.layers[i].name, grep.layers[i].name);
+        expectStatsIdentical(prep.nodes.layers[i].stats,
+                             grep.layers[i].stats);
+    }
+    EXPECT_EQ(prep.nodes.presentations, grep.presentations);
+
+    // One chip, no transfers: the pipeline degenerates to serial
+    // execution with zero bubbles.
+    ASSERT_EQ(prep.chips.size(), 1u);
+    EXPECT_EQ(prep.transferNs, 0.0);
+    EXPECT_NEAR(prep.bubbleFraction, 0.0, 1e-12);
+    EXPECT_NEAR(prep.chips[0].utilization, 1.0, 1e-12);
+}
+
+TEST(PipelineRuntime, BitIdenticalAcrossThreadsMicroBatchesAndChips)
+{
+    CompiledResNet c(121);
+    Rng rng(122);
+    Tensor batch({4, 3, 32, 32});
+    batch.fillUniform(rng, 0.0f, 1.0f);
+
+    // Reference: 2 chips, micro-batch 2, single thread.
+    Tensor ref_logits;
+    std::vector<arch::EngineStats> ref_stats;
+    auto run = [&](int threads, int chips, int micro_batch,
+                   sim::PipelineReport *rep) {
+        ThreadPool pool(threads);
+        sim::PipelineRuntime rt(c.graph, partitionFor(c.graph, chips),
+                                c.states,
+                                noisyConfig(&pool, micro_batch));
+        return rt.forward(batch, rep);
+    };
+    {
+        sim::PipelineReport rep;
+        ref_logits = run(1, 2, 2, &rep);
+        for (const auto &l : rep.nodes.layers)
+            ref_stats.push_back(l.stats);
+        ASSERT_EQ(ref_stats.size(), 10u);
+    }
+
+    struct Case
+    {
+        int threads, chips, microBatch;
+    };
+    const Case cases[] = {
+        {4, 2, 2}, {8, 2, 2},            // thread counts
+        {4, 2, 1}, {4, 2, 4}, {4, 2, 3}, // micro-batch sizes (3: ragged)
+        {4, 1, 2}, {4, 4, 2},            // chip counts
+    };
+    for (const Case &k : cases) {
+        sim::PipelineReport rep;
+        const Tensor logits = run(k.threads, k.chips, k.microBatch, &rep);
+        EXPECT_TRUE(logits.equals(ref_logits))
+            << "logits diverge at threads=" << k.threads
+            << " chips=" << k.chips << " microBatch=" << k.microBatch;
+        ASSERT_EQ(rep.nodes.layers.size(), ref_stats.size());
+        for (size_t i = 0; i < ref_stats.size(); ++i)
+            expectStatsIdentical(rep.nodes.layers[i].stats,
+                                 ref_stats[i]);
+    }
+}
+
+TEST(PipelineRuntime, ReportModelsAPipelineWithTransfers)
+{
+    CompiledResNet c(131);
+    Rng rng(132);
+    Tensor batch({4, 3, 32, 32});
+    batch.fillUniform(rng, 0.0f, 1.0f);
+
+    ThreadPool pool(4);
+    sim::PipelineRuntime rt(c.graph, partitionFor(c.graph, 2), c.states,
+                            noisyConfig(&pool, 1));
+    sim::PipelineReport rep;
+    rt.forward(batch, &rep);
+
+    EXPECT_EQ(rep.microBatches, 4);
+    EXPECT_EQ(rep.images, 4);
+    EXPECT_GT(rep.makespanNs, 0.0);
+    EXPECT_GT(rep.modeledFps(), 0.0);
+    EXPECT_GT(rep.transferNs, 0.0);
+    EXPECT_GT(rep.transferPj, 0.0);
+    EXPECT_GE(rep.bubbleFraction, 0.0);
+    EXPECT_LT(rep.bubbleFraction, 1.0);
+
+    ASSERT_EQ(rep.chips.size(), 2u);
+    int64_t crossbars = 0;
+    size_t programmed = 0;
+    for (const auto &ch : rep.chips) {
+        EXPECT_GT(ch.nodes, 0u);
+        EXPECT_GT(ch.computeNs, 0.0);
+        EXPECT_GT(ch.utilization, 0.0);
+        EXPECT_LE(ch.utilization, 1.0);
+        crossbars += ch.crossbars;
+        programmed += ch.programmedNodes;
+    }
+    EXPECT_EQ(crossbars, rt.totalCrossbars());
+    EXPECT_EQ(programmed, 10u);
+    // Chip 1 waits on the inbound link; chip 0 has no inbound edges.
+    EXPECT_EQ(rep.chips[0].transferInNs, 0.0);
+    EXPECT_GT(rep.chips[1].transferInNs, 0.0);
+
+    // The makespan can never beat the busiest chip, and pipelining
+    // must beat running the chips back to back.
+    double max_busy = 0.0, total_busy = 0.0;
+    for (const auto &ch : rep.chips) {
+        max_busy = std::max(max_busy, ch.computeNs);
+        total_busy += ch.computeNs;
+    }
+    EXPECT_GE(rep.makespanNs, max_busy);
+    EXPECT_LT(rep.makespanNs, total_busy + rep.transferNs);
+}
+
+TEST(PipelineRuntime, ResetPresentationStreamsReproducesNoisyRuns)
+{
+    CompiledResNet c(141);
+    Rng rng(142);
+    Tensor batch({2, 3, 32, 32});
+    batch.fillUniform(rng, 0.0f, 1.0f);
+
+    ThreadPool pool(4);
+    sim::PipelineRuntime rt(c.graph, partitionFor(c.graph, 2), c.states,
+                            noisyConfig(&pool, 1));
+    const Tensor first = rt.forward(batch);
+    const Tensor drifted = rt.forward(batch);
+    EXPECT_FALSE(first.equals(drifted));
+    rt.resetPresentationStreams();
+    const Tensor replay = rt.forward(batch);
+    EXPECT_TRUE(first.equals(replay));
+}
+
+TEST(PipelineRuntime, AccuracyRunsAndIsBounded)
+{
+    CompiledResNet c(151);
+    ThreadPool pool(4);
+    sim::PipelineRuntime rt(c.graph, partitionFor(c.graph, 2), c.states,
+                            noisyConfig(&pool, 2));
+    Rng rng(152);
+    Tensor images({3, 3, 32, 32});
+    images.fillUniform(rng, 0.0f, 1.0f);
+    const double acc = rt.accuracy(images, {0, 1, 2});
+    EXPECT_GE(acc, 0.0);
+    EXPECT_LE(acc, 1.0);
+}
+
+} // namespace
+} // namespace forms

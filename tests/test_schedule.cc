@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Schedule partitioner tests: determinism (same graph + same config
+ * => identical partition), contiguity in topological order, exact
+ * balance behaviour on uniform chains, capacity awareness, transfer
+ * materialization and chip-count clamping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compile/passes.hh"
+#include "compile/schedule.hh"
+#include "nn/zoo.hh"
+
+namespace forms {
+namespace {
+
+/** Input -> n relu chain with uniform per-node work. */
+compile::Graph
+reluChain(int relus)
+{
+    compile::Graph g;
+    int prev = g.addNode(compile::Op::Input, "in", {});
+    for (int i = 0; i < relus; ++i) {
+        prev = g.addNode(compile::Op::Relu, "relu" + std::to_string(i),
+                         {prev});
+    }
+    g.setOutput(prev);
+    g.inferShapes({3, 8, 8});
+    return g;
+}
+
+/** Compiled + folded ResNetSmall graph (the realistic topology). */
+struct ResNetGraph
+{
+    std::unique_ptr<nn::Network> net;
+    compile::Graph graph;
+
+    explicit ResNetGraph(uint64_t seed)
+    {
+        Rng rng(seed);
+        net = nn::buildResNetSmall(rng, 4, 8, 1);
+        graph = compile::lowerNetwork(*net);
+        graph.inferShapes({3, 32, 32});
+        EXPECT_GT(compile::foldBatchNorm(graph), 0);
+    }
+};
+
+TEST(Schedule, PartitionIsDeterministic)
+{
+    ResNetGraph r(31);
+    compile::ScheduleConfig cfg;
+    cfg.chips = 3;
+    const auto a = compile::Schedule::partition(r.graph, cfg);
+    const auto b = compile::Schedule::partition(r.graph, cfg);
+
+    ASSERT_EQ(a.chips(), b.chips());
+    for (int id = 0; id < r.graph.capacity(); ++id)
+        EXPECT_EQ(a.chipOf(id), b.chipOf(id)) << "node " << id;
+    ASSERT_EQ(a.transfers().size(), b.transfers().size());
+    for (size_t i = 0; i < a.transfers().size(); ++i) {
+        EXPECT_EQ(a.transfers()[i].producer, b.transfers()[i].producer);
+        EXPECT_EQ(a.transfers()[i].fromChip, b.transfers()[i].fromChip);
+        EXPECT_EQ(a.transfers()[i].bytesPerSample,
+                  b.transfers()[i].bytesPerSample);
+    }
+    EXPECT_EQ(a.cutBytesPerSample(), b.cutBytesPerSample());
+}
+
+TEST(Schedule, AssignsEveryLiveNodeContiguouslyInTopoOrder)
+{
+    ResNetGraph r(32);
+    compile::ScheduleConfig cfg;
+    cfg.chips = 4;
+    const auto s = compile::Schedule::partition(r.graph, cfg);
+
+    ASSERT_EQ(s.chips(), 4);
+    int prev_chip = 0;
+    size_t assigned = 0;
+    for (int id : r.graph.topoOrder()) {
+        const int c = s.chipOf(id);
+        ASSERT_GE(c, prev_chip) << "chip ids must be non-decreasing "
+                                   "along the topological order";
+        prev_chip = c;
+        ++assigned;
+    }
+    EXPECT_EQ(assigned, r.graph.size());
+    size_t listed = 0;
+    for (int c = 0; c < s.chips(); ++c) {
+        EXPECT_FALSE(s.chipNodes()[static_cast<size_t>(c)].empty());
+        EXPECT_GT(s.chipWork(c), 0.0);
+        listed += s.chipNodes()[static_cast<size_t>(c)].size();
+    }
+    EXPECT_EQ(listed, r.graph.size());
+}
+
+TEST(Schedule, UniformChainSplitsEvenlyWithSmallestCutFirst)
+{
+    // 9 uniform nodes on 2 chips: both 4/5 and 5/4 hit the same max
+    // work and cut traffic; the deterministic tie-break picks the
+    // lexicographically smallest cut vector, i.e. 4/5.
+    auto g = reluChain(8);
+    compile::ScheduleConfig cfg;
+    cfg.chips = 2;
+    const auto s = compile::Schedule::partition(g, cfg);
+    ASSERT_EQ(s.chips(), 2);
+    EXPECT_EQ(s.chipNodes()[0].size(), 4u);
+    EXPECT_EQ(s.chipNodes()[1].size(), 5u);
+}
+
+TEST(Schedule, CapacityVectorShiftsTheBoundary)
+{
+    // Chip 0 twice as capable: the balance objective normalizes by
+    // capacity, so it takes 6 of the 9 uniform nodes.
+    auto g = reluChain(8);
+    compile::ScheduleConfig cfg;
+    cfg.chips = 2;
+    cfg.capacity = {2.0, 1.0};
+    const auto s = compile::Schedule::partition(g, cfg);
+    EXPECT_EQ(s.chipNodes()[0].size(), 6u);
+    EXPECT_EQ(s.chipNodes()[1].size(), 3u);
+}
+
+TEST(Schedule, TransfersAreNeighborHopsWithTensorBytes)
+{
+    auto g = reluChain(8);
+    compile::ScheduleConfig cfg;
+    cfg.chips = 3;
+    const auto s = compile::Schedule::partition(g, cfg);
+
+    // A straight chain crosses each of the 2 boundaries exactly once,
+    // carrying one 3x8x8 float tensor per sample.
+    ASSERT_EQ(s.transfers().size(), 2u);
+    for (const auto &t : s.transfers()) {
+        EXPECT_EQ(t.toChip, t.fromChip + 1);
+        EXPECT_EQ(t.bytesPerSample,
+                  static_cast<int64_t>(3 * 8 * 8 * sizeof(float)));
+        EXPECT_EQ(s.chipOf(t.producer), t.fromChip);
+    }
+    EXPECT_EQ(s.cutBytesPerSample(),
+              static_cast<int64_t>(2 * 3 * 8 * 8 * sizeof(float)));
+}
+
+TEST(Schedule, ResidualGraphTransfersFollowTheSchedule)
+{
+    ResNetGraph r(33);
+    compile::ScheduleConfig cfg;
+    cfg.chips = 4;
+    const auto s = compile::Schedule::partition(r.graph, cfg);
+    EXPECT_FALSE(s.transfers().empty());
+    for (const auto &t : s.transfers()) {
+        EXPECT_EQ(t.toChip, t.fromChip + 1);
+        EXPECT_GT(t.bytesPerSample, 0);
+        // The producer lives at or before the sending chip
+        // (store-and-forward re-sends values that hop further).
+        EXPECT_LE(s.chipOf(t.producer), t.fromChip);
+        EXPECT_TRUE(r.graph.alive(t.producer));
+    }
+    EXPECT_GT(s.cutBytesPerSample(), 0);
+}
+
+TEST(Schedule, ChipCountClampsToLiveNodes)
+{
+    auto g = reluChain(2);  // 3 live nodes
+    compile::ScheduleConfig cfg;
+    cfg.chips = 8;
+    const auto s = compile::Schedule::partition(g, cfg);
+    EXPECT_EQ(s.chips(), 3);
+    for (int c = 0; c < 3; ++c)
+        EXPECT_EQ(s.chipNodes()[static_cast<size_t>(c)].size(), 1u);
+}
+
+TEST(Schedule, SingleChipHasNoTransfers)
+{
+    ResNetGraph r(34);
+    compile::ScheduleConfig cfg;
+    cfg.chips = 1;
+    const auto s = compile::Schedule::partition(r.graph, cfg);
+    EXPECT_EQ(s.chips(), 1);
+    EXPECT_TRUE(s.transfers().empty());
+    EXPECT_EQ(s.cutBytesPerSample(), 0);
+    EXPECT_EQ(s.chipNodes()[0].size(), r.graph.size());
+}
+
+} // namespace
+} // namespace forms
