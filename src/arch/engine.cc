@@ -11,6 +11,8 @@ EngineStats::merge(const EngineStats &other)
     bitCycles += other.bitCycles;
     skippedCycles += other.skippedCycles;
     adcSamples += other.adcSamples;
+    quantValues += other.quantValues;
+    quantClipped += other.quantClipped;
     adcEnergyPj += other.adcEnergyPj;
     crossbarEnergyPj += other.crossbarEnergyPj;
     timeNs += other.timeNs;
@@ -246,6 +248,39 @@ quantizeActivations(const std::vector<float> &x, int bits,
     }
     if (scale_out)
         *scale_out = scale;
+    return q;
+}
+
+std::vector<uint32_t>
+quantizeActivationsStatic(const std::vector<float> &x, int bits,
+                          float scale, uint64_t *clipped_out)
+{
+    FORMS_ASSERT(bits >= 1 && bits <= 31, "bad activation bits");
+    FORMS_ASSERT(scale > 0.0f,
+                 "static activation scale must be positive — was the "
+                 "calibration table built for this layer?");
+    const uint32_t qmax = (1u << bits) - 1;
+    std::vector<uint32_t> q(x.size(), 0);
+    uint64_t clipped = 0;
+    for (size_t i = 0; i < x.size(); ++i) {
+        const float v = x[i];
+        if (v <= 0.0f)
+            continue;   // unsigned encoding: negatives map to zero
+        // Saturation test in double, before lround: an extreme
+        // outlier (or inf/NaN) must clip to the top code, not feed
+        // lround a value outside long's range (UB). NaN fails the
+        // comparison and clips too.
+        const double code = static_cast<double>(v) /
+            static_cast<double>(scale);
+        if (!(code < static_cast<double>(qmax) + 0.5)) {
+            q[i] = qmax;
+            ++clipped;
+        } else {
+            q[i] = static_cast<uint32_t>(std::lround(code));
+        }
+    }
+    if (clipped_out)
+        *clipped_out += clipped;
     return q;
 }
 

@@ -24,6 +24,25 @@
 
 namespace forms::arch {
 
+/**
+ * How activation vectors are quantized onto the unsigned bit-serial
+ * input grid (DESIGN.md §2).
+ *
+ * - PerPresentation: the scale is each presentation's own max / qmax —
+ *   an idealized per-vector dynamic range no fixed DAC grid can
+ *   provide. Kept as the reference upper bound.
+ * - Static: one offline-calibrated scale per programmed layer
+ *   (compile::CalibrationTable, built by sim::Calibrator), frozen at
+ *   deployment time as on real hardware. Out-of-range activations
+ *   saturate at the grid max and are counted in
+ *   EngineStats::quantClipped.
+ */
+enum class ScaleMode
+{
+    PerPresentation,  //!< idealized per-vector max scale
+    Static,           //!< offline-calibrated fixed scale
+};
+
 /** Engine knobs beyond the mapping geometry. */
 struct EngineConfig
 {
@@ -52,6 +71,8 @@ struct EngineStats
     uint64_t bitCycles = 0;       //!< (fragment, bit) activations
     uint64_t skippedCycles = 0;   //!< bit cycles avoided by zero-skip
     uint64_t adcSamples = 0;      //!< individual conversions
+    uint64_t quantValues = 0;     //!< activation scalars quantized
+    uint64_t quantClipped = 0;    //!< saturated at the static grid max
     double adcEnergyPj = 0.0;
     double crossbarEnergyPj = 0.0;
     double timeNs = 0.0;          //!< ADC-limited serial time
@@ -62,6 +83,20 @@ struct EngineStats
         const double tot =
             static_cast<double>(bitCycles + skippedCycles);
         return tot > 0.0 ? static_cast<double>(skippedCycles) / tot : 0.0;
+    }
+
+    /**
+     * Fraction of quantized activation values that saturated the
+     * input grid. Always 0 under ScaleMode::PerPresentation (the
+     * idealized scale adapts); under ScaleMode::Static it measures
+     * how much of the dynamic range the calibration left uncovered.
+     */
+    double clipFraction() const
+    {
+        return quantValues > 0
+            ? static_cast<double>(quantClipped) /
+                static_cast<double>(quantValues)
+            : 0.0;
     }
 
     void merge(const EngineStats &other);
@@ -150,6 +185,17 @@ std::vector<float> dequantizeOutputs(const std::vector<double> &raw,
 /** Quantize a nonnegative activation vector to `bits` unsigned ints. */
 std::vector<uint32_t> quantizeActivations(const std::vector<float> &x,
                                           int bits, float *scale_out);
+
+/**
+ * Quantize against a frozen grid: q = round(x / scale) clamped to
+ * [0, 2^bits - 1]. Negative values map to zero (unsigned bit-serial
+ * encoding); values past the grid max saturate and are counted into
+ * `*clipped_out` (accumulated, not assigned — callers fold several
+ * presentations into one counter).
+ */
+std::vector<uint32_t> quantizeActivationsStatic(
+    const std::vector<float> &x, int bits, float scale,
+    uint64_t *clipped_out = nullptr);
 
 } // namespace forms::arch
 

@@ -1,0 +1,145 @@
+#include "compile/calibration.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "compile/graph.hh"
+#include "nn/serialize.hh"
+
+namespace forms::compile {
+
+namespace {
+
+constexpr const char *kMagic = "forms-calibration v1";
+
+} // namespace
+
+void
+CalibrationTable::set(CalibEntry e)
+{
+    for (CalibEntry &have : entries_) {
+        if (have.node == e.node) {
+            have = std::move(e);
+            return;
+        }
+    }
+    entries_.push_back(std::move(e));
+}
+
+const CalibEntry *
+CalibrationTable::find(const std::string &node) const
+{
+    for (const CalibEntry &e : entries_)
+        if (e.node == node)
+            return &e;
+    return nullptr;
+}
+
+void
+CalibrationTable::attachTo(Graph &g) const
+{
+    for (const CalibEntry &e : entries_) {
+        bool found = false;
+        for (int id = 0; id < g.capacity(); ++id) {
+            if (!g.alive(id))
+                continue;
+            Node &n = g.node(id);
+            if (n.name != e.node)
+                continue;
+            if (n.op != Op::Conv && n.op != Op::Dense) {
+                fatal("calibration: entry '%s' names a %s node — only "
+                      "matrix nodes have a DAC input grid",
+                      e.node.c_str(), opName(n.op));
+            }
+            n.inScale = e.scale;
+            found = true;
+        }
+        if (!found) {
+            fatal("calibration: entry '%s' names no live graph node — "
+                  "was this table built for a different model?",
+                  e.node.c_str());
+        }
+    }
+}
+
+void
+CalibrationTable::save(std::ostream &os) const
+{
+    os << kMagic << "\n";
+    os << "input-bits " << inputBits_ << "\n";
+    for (const CalibEntry &e : entries_) {
+        os << "scale " << e.node << " " << e.observations << " "
+           << nn::encodeFloat(e.range) << " " << nn::encodeFloat(e.scale)
+           << "\n";
+    }
+    os << "end\n";
+    FORMS_ASSERT(os.good(), "stream failure while saving calibration");
+}
+
+void
+CalibrationTable::save(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '%s' for writing", path.c_str());
+    save(os);
+}
+
+CalibrationTable
+CalibrationTable::load(std::istream &is)
+{
+    std::string line;
+    if (!std::getline(is, line) || line != kMagic)
+        fatal("bad calibration header (expected '%s')", kMagic);
+
+    CalibrationTable table;
+    bool saw_end = false;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        if (line == "end") {
+            saw_end = true;
+            break;
+        }
+        std::istringstream ls(line);
+        std::string tag;
+        ls >> tag;
+        if (tag == "input-bits") {
+            int bits = 0;
+            if (!(ls >> bits) || bits < 1 || bits > 31)
+                fatal("bad calibration line: '%s'", line.c_str());
+            table.inputBits_ = bits;
+        } else if (tag == "scale") {
+            CalibEntry e;
+            std::string range_tok, scale_tok;
+            if (!(ls >> e.node >> e.observations >> range_tok >>
+                  scale_tok))
+                fatal("bad calibration line: '%s'", line.c_str());
+            e.range = nn::parseFloat(range_tok, "calibration range");
+            e.scale = nn::parseFloat(scale_tok, "calibration scale");
+            if (e.scale <= 0.0f)
+                fatal("calibration entry '%s' has non-positive scale",
+                      e.node.c_str());
+            table.set(std::move(e));
+        } else {
+            fatal("bad calibration line: '%s'", line.c_str());
+        }
+    }
+    if (!saw_end)
+        fatal("truncated calibration table (no 'end')");
+    if (table.inputBits_ == 0)
+        fatal("calibration table missing input-bits");
+    return table;
+}
+
+CalibrationTable
+CalibrationTable::load(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open '%s' for reading", path.c_str());
+    return load(is);
+}
+
+} // namespace forms::compile

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Offline activation-calibration table.
+ *
+ * A CalibrationTable maps each crossbar-programmed matrix node (Conv /
+ * Dense, keyed by node / layer name) to the static input-quantization
+ * scale of the unsigned bit-serial DAC feeding it — the fixed hardware
+ * input grid FORMS assumes (ISAAC-style pipelines freeze activation
+ * scales at deployment time). Tables are built offline by
+ * sim::Calibrator from a calibration split, attached to a graph's
+ * input edges with attachTo(), and serialized in the same
+ * line-oriented hex-float format as nn/serialize model files, so a
+ * model and its calibration travel together between processes.
+ *
+ * Thread-safety: build and load from one thread; a const table is
+ * safe to share across runtimes.
+ *
+ * Format (line-oriented, locale-independent):
+ *   forms-calibration v1
+ *   input-bits <bits>
+ *   scale <node-name> <observations> <range-hex> <scale-hex>
+ *   ...
+ *   end
+ */
+
+#ifndef FORMS_COMPILE_CALIBRATION_HH
+#define FORMS_COMPILE_CALIBRATION_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace forms::compile {
+
+class Graph;
+
+/** Calibrated input grid of one matrix node. */
+struct CalibEntry
+{
+    std::string node;          //!< matrix node / layer name
+    float range = 0.0f;        //!< calibrated activation range (real units)
+    float scale = 0.0f;        //!< quantizer step: range / (2^bits - 1)
+    uint64_t observations = 0; //!< presentations the range was fit on
+};
+
+/** Per-node static activation scales, in deterministic node order. */
+class CalibrationTable
+{
+  public:
+    CalibrationTable() = default;
+
+    /** Input grid resolution the scales were computed for. */
+    int inputBits() const { return inputBits_; }
+    void setInputBits(int bits) { inputBits_ = bits; }
+
+    /** Insert or replace the entry for `e.node`. */
+    void set(CalibEntry e);
+
+    /** Entry for a node name, or null when uncalibrated. */
+    const CalibEntry *find(const std::string &node) const;
+
+    size_t size() const { return entries_.size(); }
+    const std::vector<CalibEntry> &entries() const { return entries_; }
+
+    /**
+     * Stamp every entry's scale onto the matching matrix node's
+     * `Node::inScale` (its input edge) so the graph carries its own
+     * calibration; fatal()s when an entry names no live matrix node —
+     * a table from a different model is a deployment error, not a
+     * warning.
+     */
+    void attachTo(Graph &g) const;
+
+    /** Serialize (hex floats — exact round trip). */
+    void save(std::ostream &os) const;
+    void save(const std::string &path) const;
+
+    /** Parse a saved table; fatal() on format errors. */
+    static CalibrationTable load(std::istream &is);
+    static CalibrationTable load(const std::string &path);
+
+  private:
+    std::vector<CalibEntry> entries_;  //!< insertion order (deterministic)
+    int inputBits_ = 0;
+};
+
+} // namespace forms::compile
+
+#endif // FORMS_COMPILE_CALIBRATION_HH

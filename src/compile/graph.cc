@@ -261,6 +261,8 @@ Graph::dump() const
             out += strfmt(" %d", in);
         if (!n.outShape.empty())
             out += "  " + shapeStr(n.outShape);
+        if (n.inScale > 0.0f)
+            out += strfmt("  in_scale=%g", n.inScale);
         if (n.id == output_)
             out += "  (output)";
         out += "\n";

@@ -73,6 +73,15 @@ struct Node
      */
     std::vector<float> outScale, outBias;
 
+    /**
+     * Static input-quantization scale of a matrix node (the grid step
+     * of the unsigned bit-serial DAC feeding it), stamped onto the
+     * node's input edge by compile::CalibrationTable::attachTo. 0
+     * means uncalibrated: executors in arch::ScaleMode::Static then
+     * require a table in their RuntimeConfig instead.
+     */
+    float inScale = 0.0f;
+
     /** Per-sample output shape, set by Graph::inferShapes(). */
     Shape outShape;
 };

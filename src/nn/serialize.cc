@@ -16,6 +16,22 @@ constexpr const char *kMagic = "forms-model v1";
 
 } // namespace
 
+std::string
+encodeFloat(float v)
+{
+    return strfmt("%a", static_cast<double>(v));
+}
+
+float
+parseFloat(const std::string &token, const char *what)
+{
+    char *endp = nullptr;
+    const double v = std::strtod(token.c_str(), &endp);
+    if (endp == token.c_str())
+        fatal("bad value '%s' in %s", token.c_str(), what);
+    return static_cast<float>(v);
+}
+
 void
 saveParameters(Network &net, std::ostream &os)
 {
@@ -27,8 +43,7 @@ saveParameters(Network &net, std::ostream &os)
         os << "\n";
         const float *data = p.value->data();
         for (int64_t i = 0; i < p.value->numel(); ++i) {
-            // Hex floats round-trip exactly.
-            os << strfmt("%a", static_cast<double>(data[i]));
+            os << encodeFloat(data[i]);
             os << (i + 1 == p.value->numel() ? '\n' : ' ');
         }
     }
@@ -85,17 +100,12 @@ loadParameters(Network &net, std::istream &is)
         float *data = p.value->data();
         std::string tok;
         for (int64_t i = 0; i < numel; ++i) {
-            // Hex-float tokens are parsed with strtod: istream's
-            // num_get does not reliably accept the %a format.
+            // Hex-float tokens are parsed with strtod (parseFloat):
+            // istream's num_get does not reliably accept the %a format.
             if (!(is >> tok))
                 fatal("truncated values for parameter '%s'",
                       name.c_str());
-            char *endp = nullptr;
-            const double v = std::strtod(tok.c_str(), &endp);
-            if (endp == tok.c_str())
-                fatal("bad value '%s' in parameter '%s'", tok.c_str(),
-                      name.c_str());
-            data[i] = static_cast<float>(v);
+            data[i] = parseFloat(tok, name.c_str());
         }
         // Consume the trailing newline of the value block.
         is.ignore(std::numeric_limits<std::streamsize>::max(), '\n');

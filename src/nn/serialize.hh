@@ -38,6 +38,16 @@ void loadParameters(Network &net, std::istream &is);
 /** Load from a file; fatal() on I/O failure. */
 void loadParameters(Network &net, const std::string &path);
 
+// Shared scalar encoding of the forms-* file formats (model
+// parameters here, calibration tables in compile/calibration.hh):
+// hex floats round-trip bit-exactly and are locale-independent.
+
+/** Encode one value as a hex-float token. */
+std::string encodeFloat(float v);
+
+/** Parse a hex-float (or decimal) token; fatal() on garbage. */
+float parseFloat(const std::string &token, const char *what);
+
 } // namespace forms::nn
 
 #endif // FORMS_NN_SERIALIZE_HH

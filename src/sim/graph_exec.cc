@@ -3,20 +3,9 @@
 #include <cmath>
 
 #include "nn/layers.hh"
-#include "sim/stage_kernels.hh"
 #include "tensor/ops.hh"
 
 namespace forms::sim {
-
-namespace {
-
-std::vector<float>
-biasOf(const Tensor &b)
-{
-    return std::vector<float>(b.data(), b.data() + b.numel());
-}
-
-} // namespace
 
 std::vector<NodeExec>
 buildNodeExecs(const compile::Graph &g, const std::vector<int> &topo,
@@ -63,8 +52,9 @@ buildNodeExecs(const compile::Graph &g, const std::vector<int> &topo,
                 e.chanScale = n.outScale;
                 e.bias = n.outBias;
             } else {
-                e.bias = biasOf(n.conv->bias());
+                e.bias = tensorToVector(n.conv->bias());
             }
+            e.scale = resolveStageScale(cfg, n.name, n.inScale);
             break;
         }
         case compile::Op::Dense: {
@@ -79,7 +69,8 @@ buildNodeExecs(const compile::Graph &g, const std::vector<int> &topo,
             e.engine = chip.engine(id);
             e.mapped = chip.mapped(id);
             e.outC = n.dense->outDim();
-            e.bias = biasOf(n.dense->bias());
+            e.bias = tensorToVector(n.dense->bias());
+            e.scale = resolveStageScale(cfg, n.name, n.inScale);
             break;
         }
         case compile::Op::BatchNorm: {
@@ -154,7 +145,8 @@ runGraph(const compile::Graph &g, const std::vector<NodeExec> &execs,
             const double before = stats[idx].timeNs;
             out.owned = convStage(in(0), *e.engine, *e.mapped, e.bias,
                                   e.chanScale, e.outC, e.k, e.stride,
-                                  e.pad, input_bits, tp, &stats[idx]);
+                                  e.pad, input_bits, e.scale, tp,
+                                  &stats[idx]);
             if (on_programmed)
                 on_programmed(idx, stats[idx].timeNs - before);
             break;
@@ -162,7 +154,8 @@ runGraph(const compile::Graph &g, const std::vector<NodeExec> &execs,
         case compile::Op::Dense: {
             const double before = stats[idx].timeNs;
             out.owned = denseStage(in(0), *e.engine, *e.mapped, e.bias,
-                                   e.outC, input_bits, tp, &stats[idx]);
+                                   e.outC, input_bits, e.scale, tp,
+                                   &stats[idx]);
             if (on_programmed)
                 on_programmed(idx, stats[idx].timeNs - before);
             break;

@@ -24,6 +24,7 @@
 #include "arch/chip.hh"
 #include "compile/graph.hh"
 #include "sim/runtime.hh"
+#include "sim/stage_kernels.hh"
 
 namespace forms::sim {
 
@@ -46,6 +47,7 @@ struct NodeExec
     int outC = 0, k = 0, stride = 0, pad = 0;
     std::vector<float> bias;
     std::vector<float> chanScale;  //!< digital BN fold (may be empty)
+    StageScale scale;              //!< resolved input-quantization mode
 
     // Pooling geometry.
     int poolK = 0, poolStride = 0;
@@ -58,7 +60,10 @@ struct NodeExec
  * Build the executable form of every node in `topo`: map and program
  * matrix nodes into pools[chip_of(id)] (device variation draws at
  * program time), snapshot eval-mode BN affines, copy conv/pool
- * geometry and the digital output stage.
+ * geometry and the digital output stage, and resolve each matrix
+ * node's input-quantization scale (in arch::ScaleMode::Static, from
+ * cfg.calibration or the node's attached Node::inScale — fatal()s
+ * when neither covers a programmed node).
  *
  * @param layers per-layer compression state, matched to matrix nodes
  *        by weight-tensor identity; fatal()s when a node has none

@@ -41,20 +41,12 @@ struct InferenceRuntime::Stage
     std::unique_ptr<arch::CrossbarEngine> engine;
     int outC = 0, k = 0, stride = 0, pad = 0;
     std::vector<float> bias;
+    StageScale scale;   //!< resolved quantization mode for this stage
 
     // Pooling geometry.
     int poolK = 0, poolStride = 0;
 };
 
-namespace {
-
-std::vector<float>
-biasOf(const Tensor &b)
-{
-    return std::vector<float>(b.data(), b.data() + b.numel());
-}
-
-} // namespace
 
 InferenceRuntime::InferenceRuntime(nn::Network &net,
                                    std::vector<admm::LayerState> &layers,
@@ -80,7 +72,8 @@ InferenceRuntime::InferenceRuntime(nn::Network &net,
             stage->k = conv->kernel();
             stage->stride = conv->stride();
             stage->pad = conv->pad();
-            stage->bias = biasOf(conv->bias());
+            stage->bias = tensorToVector(conv->bias());
+            stage->scale = resolveStageScale(cfg_, l.name());
         } else if (auto *dense = dynamic_cast<nn::Dense *>(&l)) {
             admm::LayerState *st = findLayerState(layers, &dense->weight());
             if (!st) {
@@ -92,7 +85,8 @@ InferenceRuntime::InferenceRuntime(nn::Network &net,
             stage->engine = std::make_unique<arch::CrossbarEngine>(
                 stage->mapped, cfg_.engine);
             stage->outC = dense->outDim();
-            stage->bias = biasOf(dense->bias());
+            stage->bias = tensorToVector(dense->bias());
+            stage->scale = resolveStageScale(cfg_, l.name());
         } else if (dynamic_cast<nn::ReLU *>(&l)) {
             stage->kind = Stage::Kind::Relu;
         } else if (auto *mp = dynamic_cast<nn::MaxPool2D *>(&l)) {
@@ -199,8 +193,8 @@ InferenceRuntime::forward(const Tensor &batch, RuntimeReport *report)
         case Stage::Kind::Conv: {
             arch::EngineStats st;
             cur = convStage(*act, *s.engine, s.mapped, s.bias, {},
-                            s.outC, s.k, s.stride, s.pad, in_bits, tp,
-                            &st);
+                            s.outC, s.k, s.stride, s.pad, in_bits,
+                            s.scale, tp, &st);
             if (report) {
                 recordLayer(*report, programmed_idx, s.name, st,
                             s.mapped.numCrossbars(), st.presentations);
@@ -211,7 +205,7 @@ InferenceRuntime::forward(const Tensor &batch, RuntimeReport *report)
         case Stage::Kind::Dense: {
             arch::EngineStats st;
             cur = denseStage(*act, *s.engine, s.mapped, s.bias, s.outC,
-                             in_bits, tp, &st);
+                             in_bits, s.scale, tp, &st);
             if (report) {
                 recordLayer(*report, programmed_idx, s.name, st,
                             s.mapped.numCrossbars(), st.presentations);

@@ -35,12 +35,30 @@
 #ifndef FORMS_SIM_RUNTIME_HH
 #define FORMS_SIM_RUNTIME_HH
 
+#include <map>
 #include <memory>
+#include <string>
 
 #include "arch/engine.hh"
 #include "nn/network.hh"
 
+namespace forms::compile {
+class CalibrationTable;
+} // namespace forms::compile
+
 namespace forms::sim {
+
+/**
+ * Per-stage range observations collected during calibration runs:
+ * stage name -> per-presentation pre-quantization abs-max, in
+ * presentation order (deterministic for any thread count). Wired into
+ * a runtime through RuntimeConfig::recorder by sim::Calibrator;
+ * normal inference leaves it null.
+ */
+struct RangeRecorder
+{
+    std::map<std::string, std::vector<float>> maxima;
+};
 
 /** Runtime construction knobs. */
 struct RuntimeConfig
@@ -48,6 +66,21 @@ struct RuntimeConfig
     arch::MappingConfig mapping;  //!< crossbar geometry per layer
     arch::EngineConfig engine;    //!< ADC / device / zero-skip knobs
     ThreadPool *pool = nullptr;   //!< null = ThreadPool::global()
+
+    /**
+     * Activation quantization mode (DESIGN.md §2). Static requires a
+     * calibrated scale for every programmed stage: either `calibration`
+     * below, or (for the graph runtimes) scales attached to the graph
+     * via compile::CalibrationTable::attachTo. Construction fatal()s
+     * on a programmed stage with neither.
+     */
+    arch::ScaleMode scaleMode = arch::ScaleMode::PerPresentation;
+
+    /** Static scales, keyed by layer/node name (borrowed, may be null). */
+    const compile::CalibrationTable *calibration = nullptr;
+
+    /** Calibration observation sink (borrowed; null in normal runs). */
+    RangeRecorder *recorder = nullptr;
 };
 
 /** Per-programmed-layer slice of a runtime report. */

@@ -1,36 +1,104 @@
 #include "sim/stage_kernels.hh"
 
+#include <algorithm>
+
+#include "compile/calibration.hh"
 #include "sim/runtime.hh"
 #include "tensor/ops.hh"
 
 namespace forms::sim {
 
-namespace {
-
-/**
- * Quantize the presentations of one stage input. Presentation j's
- * row r lives at base[j*j_stride + r*r_stride] (strided access covers
- * both the column-major im2col layout and row-major dense inputs);
- * quantizeActivations maps negative values to zero (the bit-serial
- * input encoding is unsigned, DESIGN.md §2).
- */
-std::vector<std::vector<uint32_t>>
-quantizeBatch(ThreadPool &tp, int64_t count, int64_t rows, int bits,
-              std::vector<float> &scales, const float *base,
-              int64_t j_stride, int64_t r_stride)
+StageScale
+resolveStageScale(const RuntimeConfig &cfg, const std::string &name,
+                  float attached_scale)
 {
+    StageScale sc;
+    sc.mode = cfg.scaleMode;
+    if (cfg.scaleMode == arch::ScaleMode::Static) {
+        if (cfg.calibration &&
+            cfg.calibration->inputBits() != cfg.mapping.inputBits) {
+            fatal("runtime: calibration table was built for a %d-bit "
+                  "input grid but the mapping uses %d bits — its "
+                  "scales would mis-span the DAC range; recalibrate "
+                  "at the deployment resolution",
+                  cfg.calibration->inputBits(), cfg.mapping.inputBits);
+        }
+        const compile::CalibEntry *e =
+            cfg.calibration ? cfg.calibration->find(name) : nullptr;
+        if (e)
+            sc.staticScale = e->scale;
+        else if (attached_scale > 0.0f)
+            sc.staticScale = attached_scale;
+        else {
+            fatal("runtime: ScaleMode::Static but stage '%s' has no "
+                  "calibrated scale — run sim::Calibrator and pass "
+                  "the table in RuntimeConfig::calibration (or attach "
+                  "it to the graph with CalibrationTable::attachTo)",
+                  name.c_str());
+        }
+    }
+    if (cfg.recorder)
+        sc.record = &cfg.recorder->maxima[name];
+    return sc;
+}
+
+std::vector<std::vector<uint32_t>>
+quantizePresentations(ThreadPool &tp, int64_t count, int64_t rows,
+                      int bits, const StageScale &sc,
+                      std::vector<float> &scales, const float *base,
+                      int64_t j_stride, int64_t r_stride,
+                      arch::EngineStats *stats)
+{
+    const bool is_static = sc.mode == arch::ScaleMode::Static;
     std::vector<std::vector<uint32_t>> q(static_cast<size_t>(count));
-    scales.assign(static_cast<size_t>(count), 0.0f);
+    scales.assign(static_cast<size_t>(count),
+                  is_static ? sc.staticScale : 0.0f);
+    // Per-presentation side channels, folded below in presentation
+    // order so the merged counters and recorded maxima are
+    // bit-identical for any thread count (DESIGN.md §3).
+    std::vector<uint64_t> clipped(
+        is_static ? static_cast<size_t>(count) : 0, 0);
+    std::vector<float> maxima(
+        sc.record ? static_cast<size_t>(count) : 0, 0.0f);
+
     tp.parallelFor(0, count, 16, [&](int64_t j, int) {
+        const size_t s = static_cast<size_t>(j);
         std::vector<float> col(static_cast<size_t>(rows));
         const float *p = base + j * j_stride;
         for (int64_t r = 0; r < rows; ++r)
             col[static_cast<size_t>(r)] = p[r * r_stride];
-        q[static_cast<size_t>(j)] = arch::quantizeActivations(
-            col, bits, &scales[static_cast<size_t>(j)]);
+        if (sc.record) {
+            float mx = 0.0f;
+            for (float v : col)
+                mx = std::max(mx, v);
+            maxima[s] = mx;
+        }
+        if (is_static) {
+            q[s] = arch::quantizeActivationsStatic(
+                col, bits, sc.staticScale, &clipped[s]);
+        } else {
+            q[s] = arch::quantizeActivations(col, bits, &scales[s]);
+        }
     });
+
+    if (stats) {
+        stats->quantValues +=
+            static_cast<uint64_t>(count) * static_cast<uint64_t>(rows);
+        for (uint64_t c : clipped)
+            stats->quantClipped += c;
+    }
+    if (sc.record)
+        sc.record->insert(sc.record->end(), maxima.begin(), maxima.end());
     return q;
 }
+
+std::vector<float>
+tensorToVector(const Tensor &t)
+{
+    return std::vector<float>(t.data(), t.data() + t.numel());
+}
+
+namespace {
 
 /**
  * Dequantized value of output channel `oc` of one presentation.
@@ -52,8 +120,8 @@ convStage(const Tensor &act, arch::CrossbarEngine &engine,
           const arch::MappedLayer &mapped,
           const std::vector<float> &bias,
           const std::vector<float> &chan_scale, int out_c, int k,
-          int stride, int pad, int input_bits, ThreadPool &tp,
-          arch::EngineStats *stats)
+          int stride, int pad, int input_bits, const StageScale &sc,
+          ThreadPool &tp, arch::EngineStats *stats)
 {
     FORMS_ASSERT(chan_scale.empty() ||
                      chan_scale.size() == static_cast<size_t>(out_c),
@@ -72,8 +140,9 @@ convStage(const Tensor &act, arch::CrossbarEngine &engine,
     const float *pc = cols.data();
 
     std::vector<float> scales;
-    auto q = quantizeBatch(tp, m, rows, input_bits, scales, pc,
-                           /*j_stride=*/1, /*r_stride=*/m);
+    auto q = quantizePresentations(tp, m, rows, input_bits, sc, scales,
+                                   pc, /*j_stride=*/1, /*r_stride=*/m,
+                                   stats);
 
     auto raw = engine.mvmBatch(q, stats, &tp);
 
@@ -100,7 +169,8 @@ Tensor
 denseStage(const Tensor &act, arch::CrossbarEngine &engine,
            const arch::MappedLayer &mapped,
            const std::vector<float> &bias, int out_dim, int input_bits,
-           ThreadPool &tp, arch::EngineStats *stats)
+           const StageScale &sc, ThreadPool &tp,
+           arch::EngineStats *stats)
 {
     FORMS_ASSERT(act.rank() == 2, "dense stage needs a flattened input");
     const int64_t n = act.dim(0);
@@ -108,8 +178,9 @@ denseStage(const Tensor &act, arch::CrossbarEngine &engine,
     const float *pi = act.data();
 
     std::vector<float> scales;
-    auto q = quantizeBatch(tp, n, feats, input_bits, scales, pi,
-                           /*j_stride=*/feats, /*r_stride=*/1);
+    auto q = quantizePresentations(tp, n, feats, input_bits, sc, scales,
+                                   pi, /*j_stride=*/feats,
+                                   /*r_stride=*/1, stats);
 
     auto raw = engine.mvmBatch(q, stats, &tp);
 

@@ -22,12 +22,65 @@
 
 namespace forms::sim {
 
+struct RuntimeConfig;
 struct RuntimeReport;
 
 /**
+ * How one programmed stage quantizes its input presentations — the
+ * single place the arch::ScaleMode switch reaches the kernels. All
+ * three executors resolve their mode/table into one of these per
+ * stage, so the per-presentation scale assumption cannot fork again
+ * between runtimes.
+ */
+struct StageScale
+{
+    arch::ScaleMode mode = arch::ScaleMode::PerPresentation;
+
+    /** Static mode: the calibrated quantizer step for this stage. */
+    float staticScale = 0.0f;
+
+    /**
+     * Calibration hook: when set, every presentation's pre-quantization
+     * abs-max is appended here in presentation order (used by
+     * sim::Calibrator; normal inference leaves it null).
+     */
+    std::vector<float> *record = nullptr;
+};
+
+/**
+ * Resolve one programmed stage's quantization from the runtime
+ * config — the single place all executors derive a StageScale.
+ * Static mode takes the calibration-table entry when one covers the
+ * stage, else `attached_scale` (a scale carried on the graph node's
+ * input edge by CalibrationTable::attachTo; pass 0 when none); a
+ * stage covered by neither fatal()s here, at construction time, not
+ * mid-batch.
+ */
+StageScale resolveStageScale(const RuntimeConfig &cfg,
+                             const std::string &name,
+                             float attached_scale = 0.0f);
+
+/**
+ * Quantize the presentations of one programmed stage — the single
+ * quantize entry point shared by every executor. Presentation j's row
+ * r lives at base[j*j_stride + r*r_stride] (strided access covers both
+ * the column-major im2col layout and row-major dense inputs); negative
+ * values map to zero (the bit-serial input encoding is unsigned,
+ * DESIGN.md §2). Per-presentation dequantization scales land in
+ * `scales`; quantValues/quantClipped counters fold into `stats` in
+ * presentation order.
+ */
+std::vector<std::vector<uint32_t>>
+quantizePresentations(ThreadPool &tp, int64_t count, int64_t rows,
+                      int bits, const StageScale &sc,
+                      std::vector<float> &scales, const float *base,
+                      int64_t j_stride, int64_t r_stride,
+                      arch::EngineStats *stats);
+
+/**
  * Run one conv stage: lower the NCHW batch to im2col presentations,
- * quantize, execute on `engine`, and dequantize back to an NCHW
- * output tensor through the digital output stage
+ * quantize (per `sc`), execute on `engine`, and dequantize back to an
+ * NCHW output tensor through the digital output stage
  *
  *     out[oc] = chan_scale[oc] * mvm[oc] + bias[oc]
  *
@@ -39,14 +92,15 @@ Tensor convStage(const Tensor &act, arch::CrossbarEngine &engine,
                  const arch::MappedLayer &mapped,
                  const std::vector<float> &bias,
                  const std::vector<float> &chan_scale, int out_c, int k,
-                 int stride, int pad, int input_bits, ThreadPool &tp,
+                 int stride, int pad, int input_bits,
+                 const StageScale &sc, ThreadPool &tp,
                  arch::EngineStats *stats);
 
 /** Run one dense stage on a flattened (N, features) batch. */
 Tensor denseStage(const Tensor &act, arch::CrossbarEngine &engine,
                   const arch::MappedLayer &mapped,
                   const std::vector<float> &bias, int out_dim,
-                  int input_bits, ThreadPool &tp,
+                  int input_bits, const StageScale &sc, ThreadPool &tp,
                   arch::EngineStats *stats);
 
 /**
@@ -67,6 +121,9 @@ Tensor batchNormStage(const Tensor &in, const std::vector<float> &scale,
 void recordLayer(RuntimeReport &report, size_t stage_idx,
                  const std::string &name, const arch::EngineStats &stats,
                  int64_t crossbars, uint64_t presentations);
+
+/** Flatten a tensor (e.g. a bias vector) into a plain float vector. */
+std::vector<float> tensorToVector(const Tensor &t);
 
 /** Compression state whose constrained weight is `weight`, or null. */
 admm::LayerState *findLayerState(std::vector<admm::LayerState> &layers,

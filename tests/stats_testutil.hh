@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Shared test assertion: two EngineStats are bit-identical — the
+ * determinism-contract check every runtime suite makes. One copy, so
+ * new EngineStats fields (like the PR-4 saturation counters) extend
+ * every suite's coverage at once instead of silently going unchecked
+ * in stale per-file copies.
+ */
+
+#ifndef FORMS_TESTS_STATS_TESTUTIL_HH
+#define FORMS_TESTS_STATS_TESTUTIL_HH
+
+#include <gtest/gtest.h>
+
+#include "arch/engine.hh"
+
+namespace forms {
+
+inline void
+expectStatsIdentical(const arch::EngineStats &a,
+                     const arch::EngineStats &b)
+{
+    EXPECT_EQ(a.presentations, b.presentations);
+    EXPECT_EQ(a.bitCycles, b.bitCycles);
+    EXPECT_EQ(a.skippedCycles, b.skippedCycles);
+    EXPECT_EQ(a.adcSamples, b.adcSamples);
+    EXPECT_EQ(a.quantValues, b.quantValues);
+    EXPECT_EQ(a.quantClipped, b.quantClipped);
+    // Bit-identical, not approximately equal: the merge order is the
+    // presentation order in both paths.
+    EXPECT_EQ(a.adcEnergyPj, b.adcEnergyPj);
+    EXPECT_EQ(a.crossbarEnergyPj, b.crossbarEnergyPj);
+    EXPECT_EQ(a.timeNs, b.timeNs);
+}
+
+} // namespace forms
+
+#endif // FORMS_TESTS_STATS_TESTUTIL_HH

@@ -16,6 +16,7 @@
 #include "nn/layers.hh"
 #include "nn/network.hh"
 #include "nn/zoo.hh"
+#include "sim/graph_runtime.hh"
 
 namespace forms {
 namespace {
@@ -241,6 +242,167 @@ TEST(FoldBatchNorm, SkipsBnWithoutPrivateConvProducer)
     auto g = compile::lowerNetwork(net);
     EXPECT_EQ(compile::foldBatchNorm(g), 0);
     EXPECT_EQ(g.size(), 3u);
+}
+
+/** Near-lossless engine: the only error left is BN-fold algebra. */
+sim::RuntimeConfig
+preciseConfig()
+{
+    sim::RuntimeConfig cfg;
+    cfg.mapping.fragSize = 8;
+    cfg.mapping.inputBits = 12;
+    cfg.engine.adcBits = 0;   // lossless conversion
+    return cfg;
+}
+
+TEST(FoldBatchNorm, BnFeedingResidualAddJoinStillFolds)
+{
+    // The zoo always puts a ReLU after the join, but nothing requires
+    // it: a BN whose *consumer* is an Add join must still fold into
+    // its producing conv (the fold condition is about the producer).
+    Rng rng(71);
+    nn::Network net;
+    auto &convA = net.emplace<nn::Conv2D>("convA", 3, 6, 3, 1, 1, rng);
+    auto &bnA = net.emplace<nn::BatchNorm2D>("bnA", 6);
+    auto &convB = net.emplace<nn::Conv2D>("convB", 3, 6, 3, 1, 1, rng);
+    convA.bias().fillUniform(rng, -0.2f, 0.2f);
+    convB.bias().fillUniform(rng, -0.2f, 0.2f);
+    randomizeBn(bnA, rng);
+
+    // Hand-built DAG: add(bn(convA(x)), convB(x)) — the BN feeds the
+    // join directly.
+    compile::Graph g;
+    const int in = g.addNode(compile::Op::Input, "input", {});
+    const int a = g.addNode(compile::Op::Conv, "convA", {in});
+    g.node(a).conv = &convA;
+    const int b = g.addNode(compile::Op::BatchNorm, "bnA", {a});
+    g.node(b).bn = &bnA;
+    const int cB = g.addNode(compile::Op::Conv, "convB", {in});
+    g.node(cB).conv = &convB;
+    const int add = g.addNode(compile::Op::Add, "join", {b, cB});
+    g.setOutput(add);
+    g.inferShapes({3, 8, 8});
+
+    // Compress first, then fold into the digital output stage: the
+    // post-compression deployment order (DESIGN.md §4).
+    auto states = sim::snapshotCompress(net, 8, 8);
+    compile::Graph unfolded = g;   // BN executes functionally here
+    ASSERT_EQ(compile::foldBatchNorm(
+                  g, compile::FoldMode::DigitalScale), 1);
+    EXPECT_EQ(g.size(), 4u);
+    EXPECT_EQ(g.node(add).inputs[0], a);   // join rewired to the conv
+    ASSERT_EQ(g.node(a).outScale.size(), 6u);
+
+    // Folded and unfolded graphs agree on the crossbars (identical
+    // programmed weights; the digital affine replays the BN algebra).
+    Rng xrng(72);
+    Tensor x({2, 3, 8, 8});
+    x.fillUniform(xrng, 0.0f, 1.0f);
+    sim::GraphRuntime rt_folded(g, states, preciseConfig());
+    sim::GraphRuntime rt_unfolded(unfolded, states, preciseConfig());
+    const Tensor yf = rt_folded.forward(x);
+    const Tensor yu = rt_unfolded.forward(x);
+    const float tol = 1e-4f * std::max(1.0f, yu.maxAbs());
+    expectClose(yu, yf, tol);
+}
+
+TEST(FoldBatchNorm, IdentityShortcutBlockFoldsBothBns)
+{
+    // Identity-shortcut residual block (no projection): bn2 feeds the
+    // Add join against the raw block input. Both BNs must fold, in
+    // either mode, and the Add's right operand must stay the input.
+    Rng rng(81);
+    nn::Network net;
+    net.emplace<nn::Conv2D>("stem", 3, 8, 3, 1, 1, rng);
+    net.emplace<nn::ReLU>("stem_relu");
+    net.emplace<nn::ResidualBlock>("blk", 8, 8, 1, rng);
+    Rng brng(82);
+    for (size_t i = 0; i < net.size(); ++i) {
+        if (auto *res =
+                dynamic_cast<nn::ResidualBlock *>(&net.layer(i))) {
+            for (const auto &sub : res->mainPath())
+                if (auto *bn = dynamic_cast<nn::BatchNorm2D *>(sub.get()))
+                    randomizeBn(*bn, brng);
+            EXPECT_TRUE(res->shortcutPath().empty());
+        }
+    }
+
+    for (const auto mode : {compile::FoldMode::Weights,
+                            compile::FoldMode::DigitalScale}) {
+        auto g = compile::lowerNetwork(net);
+        const int folded = compile::foldBatchNorm(g, mode);
+        EXPECT_EQ(folded, 2) << "mode " << static_cast<int>(mode);
+        for (int id = 0; id < g.capacity(); ++id) {
+            if (!g.alive(id) || g.node(id).op != compile::Op::Add)
+                continue;
+            // Left operand: the main path's conv2 (bn2 bypassed);
+            // right operand: the identity shortcut — the stem relu.
+            EXPECT_EQ(g.node(g.node(id).inputs[0]).name, "blk.conv2");
+            EXPECT_EQ(g.node(g.node(id).inputs[1]).name, "stem_relu");
+        }
+    }
+}
+
+TEST(FoldBatchNorm, WeightsVsDigitalScaleAgreeOnIdentityShortcutBlock)
+{
+    // The two fold targets run at different pipeline points (weights
+    // before compression, digital stage after), so build the same
+    // network twice from the same seed and push each copy through its
+    // own deployment order; both must land near the FP reference.
+    auto build = [](nn::Network &net) {
+        Rng rng(91);
+        net.emplace<nn::Conv2D>("stem", 3, 8, 3, 1, 1, rng);
+        net.emplace<nn::ReLU>("stem_relu");
+        net.emplace<nn::ResidualBlock>("blk", 8, 8, 1, rng);
+        net.emplace<nn::ResidualBlock>("blk2", 8, 16, 2, rng);
+        Rng brng(92);
+        for (size_t i = 0; i < net.size(); ++i)
+            if (auto *res =
+                    dynamic_cast<nn::ResidualBlock *>(&net.layer(i))) {
+                for (const auto &sub : res->mainPath())
+                    if (auto *bn =
+                            dynamic_cast<nn::BatchNorm2D *>(sub.get()))
+                        randomizeBn(*bn, brng);
+                for (const auto &sub : res->shortcutPath())
+                    if (auto *bn =
+                            dynamic_cast<nn::BatchNorm2D *>(sub.get()))
+                        randomizeBn(*bn, brng);
+            }
+    };
+    nn::Network net_w, net_d;
+    build(net_w);
+    build(net_d);
+
+    Rng xrng(93);
+    Tensor x({2, 3, 12, 12});
+    x.fillUniform(xrng, 0.0f, 1.0f);
+    const Tensor ref = net_w.forward(x, false);
+    ASSERT_TRUE(ref.equals(net_d.forward(x, false)));   // same seed
+
+    // Weights mode: fold, then compress the folded weights.
+    auto g_w = compile::lowerNetwork(net_w);
+    EXPECT_EQ(compile::foldBatchNorm(g_w, compile::FoldMode::Weights),
+              5);
+    auto states_w = sim::snapshotCompress(net_w, 8, 8);
+    sim::GraphRuntime rt_w(g_w, states_w, preciseConfig());
+    const Tensor y_w = rt_w.forward(x);
+
+    // DigitalScale mode: compress first, then fold into the stage.
+    auto states_d = sim::snapshotCompress(net_d, 8, 8);
+    auto g_d = compile::lowerNetwork(net_d);
+    EXPECT_EQ(
+        compile::foldBatchNorm(g_d, compile::FoldMode::DigitalScale),
+        5);
+    sim::GraphRuntime rt_d(g_d, states_d, preciseConfig());
+    const Tensor y_d = rt_d.forward(x);
+
+    // The two fold targets must agree with each other: identical sign
+    // structure survives the per-channel rescaling (gamma/sigma > 0),
+    // so the only divergence left is each layer's magnitude grid
+    // being fit to folded vs unfolded weights.
+    const float tol =
+        0.08f * std::max(1.0f, std::max(y_w.maxAbs(), y_d.maxAbs()));
+    expectClose(y_w, y_d, tol);
 }
 
 TEST(GraphIr, BypassRewiresConsumersAndOutput)

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Randomized cross-runtime determinism harness: a seeded generator
+ * builds random layer graphs (conv/BN/relu stacks, residual blocks
+ * with identity and projection shortcuts, pooling), folds BN in a
+ * randomly chosen mode, optionally calibrates a static activation
+ * scale, and cross-checks GraphRuntime against PipelineRuntime —
+ * random thread counts, chip counts and micro-batch sizes — for
+ * bitwise-identical logits and per-node EngineStats, with ADC
+ * quantization, device variation and read noise all enabled
+ * (DESIGN.md §3–§5). Hand-picked networks only cover the topologies
+ * someone thought of; the fuzz covers the ones nobody did.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compile/calibration.hh"
+#include "compile/passes.hh"
+#include "compile/schedule.hh"
+#include "nn/layers.hh"
+#include "sim/calibrator.hh"
+#include "sim/graph_runtime.hh"
+#include "sim/pipeline_runtime.hh"
+#include "stats_testutil.hh"
+
+namespace forms {
+namespace {
+
+constexpr int kGraphs = 20;
+constexpr int kHw = 12;   //!< input spatial extent
+
+/** Nontrivial BN parameters everywhere (folding must do real work). */
+void
+randomizeBn(nn::Layer &l, Rng &rng)
+{
+    if (auto *bn = dynamic_cast<nn::BatchNorm2D *>(&l)) {
+        bn->gamma().fillUniform(rng, 0.5f, 1.5f);
+        bn->beta().fillUniform(rng, -0.5f, 0.5f);
+        bn->runningMean().fillUniform(rng, -0.3f, 0.3f);
+        bn->runningVar().fillUniform(rng, 0.25f, 2.0f);
+    } else if (auto *res = dynamic_cast<nn::ResidualBlock *>(&l)) {
+        for (const auto &sub : res->mainPath())
+            randomizeBn(*sub, rng);
+        for (const auto &sub : res->shortcutPath())
+            randomizeBn(*sub, rng);
+    }
+}
+
+/**
+ * Random conv/residual/pool network for a kHw x kHw 3-channel input.
+ * Spatial extent is tracked so every layer stays well-formed; strided
+ * ops only fire on even extents >= 8, keeping the dense head's input
+ * consistent by construction.
+ */
+std::unique_ptr<nn::Network>
+makeRandomNet(Rng &rng, int *classes_out)
+{
+    auto net = std::make_unique<nn::Network>();
+    int hw = kHw;
+    int c = 4 + 4 * static_cast<int>(rng.below(2));   // 4 or 8
+    int idx = 0;
+    auto name = [&](const char *p) { return strfmt("%s%d", p, idx++); };
+
+    net->emplace<nn::Conv2D>("stem", 3, c, 3, 1, 1, rng);
+    if (rng.bernoulli(0.5))
+        net->emplace<nn::BatchNorm2D>("stem_bn", c);
+    net->emplace<nn::ReLU>("stem_relu");
+
+    const int segments = 2 + static_cast<int>(rng.below(3));
+    for (int s = 0; s < segments; ++s) {
+        const bool can_stride = hw >= 8 && hw % 2 == 0;
+        switch (rng.below(4)) {
+        case 0: {
+            // Residual block: channel growth or a stride forces a
+            // projection shortcut; matching shapes keep the identity
+            // shortcut.
+            const int out_c =
+                (c <= 8 && rng.bernoulli(0.4)) ? c * 2 : c;
+            const int stride =
+                (can_stride && rng.bernoulli(0.3)) ? 2 : 1;
+            net->emplace<nn::ResidualBlock>(name("blk"), c, out_c,
+                                            stride, rng);
+            c = out_c;
+            if (stride == 2)
+                hw /= 2;
+            break;
+        }
+        case 1:
+            net->emplace<nn::Conv2D>(name("conv"), c, c, 3, 1, 1, rng);
+            if (rng.bernoulli(0.5))
+                net->emplace<nn::BatchNorm2D>(name("bn"), c);
+            net->emplace<nn::ReLU>(name("relu"));
+            break;
+        case 2:
+            if (can_stride) {
+                net->emplace<nn::MaxPool2D>(name("maxpool"), 2, 2);
+                hw /= 2;
+            }
+            break;
+        case 3:
+            if (can_stride) {
+                net->emplace<nn::AvgPool2D>(name("avgpool"), 2, 2);
+                hw /= 2;
+            }
+            break;
+        }
+    }
+
+    *classes_out = 2 + static_cast<int>(rng.below(3));
+    net->emplace<nn::Flatten>("flat");
+    net->emplace<nn::Dense>("fc", c * hw * hw, *classes_out, rng);
+
+    Rng brng(rng.next());
+    for (size_t i = 0; i < net->size(); ++i)
+        randomizeBn(net->layer(i), brng);
+    return net;
+}
+
+/** ADC quantization + device variation + read noise all on. */
+sim::RuntimeConfig
+noisyConfig(ThreadPool *pool)
+{
+    sim::RuntimeConfig cfg;
+    cfg.mapping.xbarRows = 64;
+    cfg.mapping.xbarCols = 64;
+    cfg.mapping.fragSize = 8;
+    cfg.mapping.inputBits = 8;
+    cfg.engine.adcBits = 3;
+    cfg.engine.cell.variationSigma = 0.1;
+    cfg.engine.readNoiseSigma = 0.02;
+    cfg.pool = pool;
+    return cfg;
+}
+
+TEST(CrossRuntimeFuzz, GraphAndPipelineRuntimesAgreeBitwise)
+{
+    int residual_graphs = 0, static_graphs = 0;
+    for (int g = 0; g < kGraphs; ++g) {
+        Rng rng(9000 + 13 * static_cast<uint64_t>(g));
+        SCOPED_TRACE("fuzz graph " + std::to_string(g));
+
+        int classes = 0;
+        auto net = makeRandomNet(rng, &classes);
+        auto graph = compile::lowerNetwork(*net);
+        graph.inferShapes({3, kHw, kHw});
+
+        // Alternate the fold target so both the rewritten-weights and
+        // the digital-output-stage paths are fuzzed.
+        const auto mode = g % 2 == 0 ? compile::FoldMode::Weights
+                                     : compile::FoldMode::DigitalScale;
+        compile::foldBatchNorm(graph, mode);
+        auto states = sim::snapshotCompress(*net, 8, 8);
+
+        for (int id = 0; id < graph.capacity(); ++id)
+            if (graph.alive(id) &&
+                graph.node(id).op == compile::Op::Add) {
+                ++residual_graphs;
+                break;
+            }
+
+        Tensor batch({2, 3, kHw, kHw});
+        batch.fillUniform(rng, 0.0f, 1.0f);
+
+        // Every third graph deploys a calibrated static scale.
+        compile::CalibrationTable table;
+        const bool use_static = g % 3 == 0;
+        ThreadPool ref_pool(1 + static_cast<int>(rng.below(4)));
+        sim::RuntimeConfig rcfg = noisyConfig(&ref_pool);
+        if (use_static) {
+            ++static_graphs;
+            sim::CalibratorConfig ccfg;
+            ccfg.policy = rng.bernoulli(0.5)
+                ? sim::CalibPolicy::AbsMax
+                : sim::CalibPolicy::Percentile;
+            sim::Calibrator cal(graph, states, rcfg, ccfg);
+            cal.observe(batch);
+            table = cal.table();
+            rcfg.scaleMode = arch::ScaleMode::Static;
+            rcfg.calibration = &table;
+        }
+
+        sim::GraphRuntime gr(graph, states, rcfg);
+        sim::RuntimeReport grep;
+        const Tensor ref = gr.forward(batch, &grep);
+
+        const int chips = 1 + static_cast<int>(rng.below(4));
+        const int micro_batch = 1 + static_cast<int>(rng.below(3));
+        ThreadPool pipe_pool(1 + static_cast<int>(rng.below(8)));
+        compile::ScheduleConfig scfg;
+        scfg.chips = chips;
+        sim::PipelineRuntimeConfig pcfg;
+        pcfg.runtime = rcfg;
+        pcfg.runtime.pool = &pipe_pool;
+        pcfg.microBatch = micro_batch;
+        sim::PipelineRuntime pr(graph,
+                                compile::Schedule::partition(graph,
+                                                             scfg),
+                                states, pcfg);
+        sim::PipelineReport prep;
+        const Tensor got = pr.forward(batch, &prep);
+
+        EXPECT_TRUE(got.equals(ref))
+            << "logits diverge: chips=" << chips
+            << " microBatch=" << micro_batch
+            << " static=" << use_static << "\n" << graph.dump();
+        ASSERT_EQ(prep.nodes.layers.size(), grep.layers.size());
+        for (size_t i = 0; i < grep.layers.size(); ++i) {
+            EXPECT_EQ(prep.nodes.layers[i].name, grep.layers[i].name);
+            expectStatsIdentical(prep.nodes.layers[i].stats,
+                                 grep.layers[i].stats);
+        }
+        EXPECT_EQ(prep.nodes.presentations, grep.presentations);
+    }
+    // The generator must actually exercise the interesting paths.
+    EXPECT_GE(residual_graphs, 5);
+    EXPECT_GE(static_graphs, 6);
+}
+
+} // namespace
+} // namespace forms

@@ -14,22 +14,10 @@
 #include "compile/passes.hh"
 #include "nn/zoo.hh"
 #include "sim/graph_runtime.hh"
+#include "stats_testutil.hh"
 
 namespace forms {
 namespace {
-
-void
-expectStatsIdentical(const arch::EngineStats &a,
-                     const arch::EngineStats &b)
-{
-    EXPECT_EQ(a.presentations, b.presentations);
-    EXPECT_EQ(a.bitCycles, b.bitCycles);
-    EXPECT_EQ(a.skippedCycles, b.skippedCycles);
-    EXPECT_EQ(a.adcSamples, b.adcSamples);
-    EXPECT_EQ(a.adcEnergyPj, b.adcEnergyPj);
-    EXPECT_EQ(a.crossbarEnergyPj, b.crossbarEnergyPj);
-    EXPECT_EQ(a.timeNs, b.timeNs);
-}
 
 /** Compile + fold + compress a scaled ResNet, ready to program. */
 struct CompiledResNet

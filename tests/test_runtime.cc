@@ -9,10 +9,11 @@
 
 #include <gtest/gtest.h>
 
-#include "sim/activation_model.hh"
-#include "sim/runtime.hh"
 #include "nn/dataset.hh"
 #include "nn/zoo.hh"
+#include "sim/activation_model.hh"
+#include "sim/runtime.hh"
+#include "stats_testutil.hh"
 
 namespace forms {
 namespace {
@@ -54,21 +55,6 @@ samplePresentations(size_t count, size_t rows, uint64_t seed)
     for (size_t i = 0; i < count; ++i)
         batch.push_back(act.sampleVector(rng, rows));
     return batch;
-}
-
-void
-expectStatsIdentical(const arch::EngineStats &a,
-                     const arch::EngineStats &b)
-{
-    EXPECT_EQ(a.presentations, b.presentations);
-    EXPECT_EQ(a.bitCycles, b.bitCycles);
-    EXPECT_EQ(a.skippedCycles, b.skippedCycles);
-    EXPECT_EQ(a.adcSamples, b.adcSamples);
-    // Bit-identical, not approximately equal: the merge order is the
-    // presentation order in both paths.
-    EXPECT_EQ(a.adcEnergyPj, b.adcEnergyPj);
-    EXPECT_EQ(a.crossbarEnergyPj, b.crossbarEnergyPj);
-    EXPECT_EQ(a.timeNs, b.timeNs);
 }
 
 /** Serial mvm loop vs mvmBatch on `threads` threads: bit-identical. */
