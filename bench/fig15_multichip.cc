@@ -2,15 +2,27 @@
  * @file
  * Multi-chip pipeline scaling study (beyond the paper's single-chip
  * evaluation — "fig15" continues the paper's figure numbering): the
- * ResNet zoo partitioned across {1, 2, 4} simulated chips by
- * compile::Schedule and executed on sim::PipelineRuntime with
- * micro-batch pipelining and modeled inter-chip transfers.
+ * ResNet zoo plus an early-layer-bound convnet partitioned across
+ * {1, 2, 4, 8} simulated chips by compile::Schedule and executed on
+ * sim::PipelineRuntime, in three scheduler modes per chip count:
  *
- * Emits BENCH_pipeline.json: modeled fps vs chip count, speedup over
- * 1 chip, pipeline bubble fraction, per-chip utilization / crossbar
- * allocation, and link traffic. Also cross-checks that the pipelined
- * logits are bit-identical to GraphRuntime at every chip count (the
- * DESIGN.md §5 contract — chips shard the model, not the arithmetic).
+ *   - contiguous       — the PR 3 baseline: MAC-balanced contiguous
+ *                        stages, phases serialized within a chip;
+ *   - tile_pipelined   — same partition, intra-chip tile pipelining
+ *                        on (layer L's ADC phase overlaps layer
+ *                        L+1's input quantization);
+ *   - replicated_tile  — ADC-latency-balanced partition with stage
+ *                        replication enabled (threshold 0.9, up to 4
+ *                        replicas) plus tile pipelining.
+ *
+ * Emits BENCH_pipeline.json: per mode, modeled fps, speedup over the
+ * same mode at 1 chip, bubble fraction, stage/replica shape, overlap
+ * savings and per-chip utilization — and the headline fps gain /
+ * bubble drop of replicated_tile over the contiguous baseline. Also
+ * cross-checks that pipelined logits are bit-identical to
+ * GraphRuntime in every mode at every chip count (the DESIGN.md §5
+ * contract — chips and replicas shard the model, not the
+ * arithmetic).
  */
 
 #include <cstdio>
@@ -19,6 +31,7 @@
 #include "common/table.hh"
 #include "compile/passes.hh"
 #include "compile/schedule.hh"
+#include "nn/layers.hh"
 #include "nn/zoo.hh"
 #include "sim/graph_runtime.hh"
 #include "sim/pipeline_runtime.hh"
@@ -30,21 +43,47 @@ namespace {
 
 constexpr int kImages = 4;
 constexpr int kMicroBatch = 1;
-const int kChipCounts[] = {1, 2, 4};
+const int kChipCounts[] = {1, 2, 4, 8};
+constexpr double kReplicateThreshold = 0.9;
+constexpr int kMaxReplicas = 4;
 
-/** One (network, chip count) measurement. */
+/** The scheduler/timing configurations under comparison. */
+struct Mode
+{
+    const char *name;
+    compile::WorkModel workModel;
+    double replicateThreshold;
+    bool tileOverlap;
+};
+
+const Mode kModes[] = {
+    {"contiguous", compile::WorkModel::Macs, 0.0, false},
+    {"tile_pipelined", compile::WorkModel::Macs, 0.0, true},
+    {"replicated_tile", compile::WorkModel::AdcTime,
+     kReplicateThreshold, true},
+};
+constexpr size_t kNumModes = sizeof(kModes) / sizeof(kModes[0]);
+
+/** One (network, chip count, mode) measurement. */
+struct ModeResult
+{
+    PipelineReport rep;
+    int64_t cutBytesPerSample = 0;
+    int stages = 0;
+    int maxReplicas = 1;        //!< widest stage in the schedule
+    bool logitsMatchGraph = false;
+};
+
 struct ChipCountResult
 {
     int chips = 0;
-    PipelineReport rep;
-    int64_t cutBytesPerSample = 0;
-    bool logitsMatchGraph = false;
+    ModeResult modes[kNumModes];
 };
 
 struct NetResult
 {
     std::string name;
-    int64_t crossbars = 0;
+    int64_t crossbars = 0;   //!< contiguous-mode programmed crossbars
     std::vector<ChipCountResult> points;
 };
 
@@ -58,7 +97,32 @@ benchConfig()
     return rcfg;
 }
 
-/** Compile, partition at each chip count, pipeline, cross-check. */
+/**
+ * Early-layer-bound convnet: a wide full-resolution conv right after
+ * the stem dominates the ADC-limited critical path (the shape the
+ * replication pass exists for — no contiguous partition can balance
+ * it).
+ */
+std::unique_ptr<nn::Network>
+buildStemWide(Rng &rng)
+{
+    auto net = std::make_unique<nn::Network>();
+    net->emplace<nn::Conv2D>("s0", 3, 12, 3, 1, 1, rng);
+    net->emplace<nn::ReLU>("r0");
+    net->emplace<nn::Conv2D>("s1", 12, 12, 3, 1, 1, rng);
+    net->emplace<nn::ReLU>("r1");
+    net->emplace<nn::MaxPool2D>("p1", 2, 2);
+    net->emplace<nn::Conv2D>("s2", 12, 12, 3, 1, 1, rng);
+    net->emplace<nn::ReLU>("r2");
+    net->emplace<nn::MaxPool2D>("p2", 2, 2);
+    net->emplace<nn::Conv2D>("s3", 12, 12, 3, 1, 1, rng);
+    net->emplace<nn::ReLU>("r3");
+    net->emplace<nn::Flatten>("flat");
+    net->emplace<nn::Dense>("fc", 12 * 8 * 8, 10, rng);
+    return net;
+}
+
+/** Compile, partition per (chip count, mode), pipeline, cross-check. */
 NetResult
 runNet(const std::string &name, nn::Network &net)
 {
@@ -79,47 +143,105 @@ runNet(const std::string &name, nn::Network &net)
     const Tensor ref_logits = gref.forward(batch);
 
     for (int chips : kChipCounts) {
-        compile::ScheduleConfig scfg;
-        scfg.chips = chips;
-        auto sched = compile::Schedule::partition(graph, scfg);
-
-        PipelineRuntimeConfig pcfg;
-        pcfg.runtime = benchConfig();
-        pcfg.microBatch = kMicroBatch;
-
         ChipCountResult point;
         point.chips = chips;
-        point.cutBytesPerSample = sched.cutBytesPerSample();
-        PipelineRuntime rt(graph, std::move(sched), states, pcfg);
-        r.crossbars = rt.totalCrossbars();
-        const Tensor logits = rt.forward(batch, &point.rep);
-        point.logitsMatchGraph = logits.equals(ref_logits);
+        for (size_t mi = 0; mi < kNumModes; ++mi) {
+            const Mode &mode = kModes[mi];
+            compile::ScheduleConfig scfg;
+            scfg.chips = chips;
+            scfg.workModel = mode.workModel;
+            scfg.replicateThreshold = mode.replicateThreshold;
+            scfg.maxReplicas = kMaxReplicas;
+            auto sched = compile::Schedule::partition(graph, scfg);
+
+            ModeResult &mr = point.modes[mi];
+            mr.cutBytesPerSample = sched.cutBytesPerSample();
+            mr.stages = sched.stages();
+            for (int s = 0; s < sched.stages(); ++s)
+                mr.maxReplicas =
+                    std::max(mr.maxReplicas, sched.stageWidth(s));
+
+            PipelineRuntimeConfig pcfg;
+            pcfg.runtime = benchConfig();
+            pcfg.microBatch = kMicroBatch;
+            pcfg.tile.overlap = mode.tileOverlap;
+
+            PipelineRuntime rt(graph, std::move(sched), states, pcfg);
+            if (mi == 0)
+                r.crossbars = rt.totalCrossbars();
+            const Tensor logits = rt.forward(batch, &mr.rep);
+            mr.logitsMatchGraph = logits.equals(ref_logits);
+        }
         r.points.push_back(std::move(point));
     }
 
-    const double base_fps = r.points[0].rep.modeledFps();
-    Table t({"Chips", "Modeled fps", "Speedup", "Bubble frac",
-             "Transfer (us)", "Min util", "Max util", "Logits"});
+    Table t({"Chips", "Mode", "Modeled fps", "Speedup", "Bubble",
+             "Stages", "Max repl", "Saved (us)", "Logits"});
     for (const auto &p : r.points) {
-        double lo = 1.0, hi = 0.0;
-        for (const auto &c : p.rep.chips) {
-            lo = std::min(lo, c.utilization);
-            hi = std::max(hi, c.utilization);
+        for (size_t mi = 0; mi < kNumModes; ++mi) {
+            const ModeResult &m = p.modes[mi];
+            const double base = r.points[0].modes[mi].rep.modeledFps();
+            t.row().cell(static_cast<int64_t>(p.chips))
+                .cell(kModes[mi].name)
+                .cell(m.rep.modeledFps(), 1)
+                .cell(base > 0.0 ? m.rep.modeledFps() / base : 0.0, 2)
+                .cell(m.rep.bubbleFraction, 3)
+                .cell(static_cast<int64_t>(m.stages))
+                .cell(static_cast<int64_t>(m.maxReplicas))
+                .cell(m.rep.overlapSavedNs / 1e3, 1)
+                .cell(m.logitsMatchGraph ? "EXACT" : "DIVERGED");
         }
-        t.row().cell(static_cast<int64_t>(p.chips))
-            .cell(p.rep.modeledFps(), 1)
-            .cell(base_fps > 0.0 ? p.rep.modeledFps() / base_fps : 0.0, 2)
-            .cell(p.rep.bubbleFraction, 3)
-            .cell(p.rep.transferNs / 1e3, 2)
-            .cell(lo, 3)
-            .cell(hi, 3)
-            .cell(p.logitsMatchGraph ? "EXACT" : "DIVERGED");
     }
     t.print(strfmt("%s pipelined across chips (batch %d, micro-batch "
                    "%d, %d BN folded, %lld crossbars)",
                    name.c_str(), kImages, kMicroBatch, folded,
                    static_cast<long long>(r.crossbars)));
     return r;
+}
+
+void
+writeMode(FILE *json, const ModeResult &m, double base_fps,
+          const char *indent)
+{
+    std::fprintf(
+        json,
+        "{\"modeled_fps\": %.3f, "
+        "\"speedup_vs_1chip\": %.3f, "
+        "\"makespan_us\": %.3f, "
+        "\"bubble_fraction\": %.4f, "
+        "\"stages\": %d, "
+        "\"replicated\": %s, "
+        "\"max_replicas\": %d, "
+        "\"overlap_saved_us\": %.3f, "
+        "\"transfer_us\": %.3f, "
+        "\"transfer_nj\": %.3f, "
+        "\"cut_bytes_per_sample\": %lld, "
+        "\"logits_match_graph_runtime\": %s,\n"
+        "%s \"per_chip\": [",
+        m.rep.modeledFps(),
+        base_fps > 0.0 ? m.rep.modeledFps() / base_fps : 0.0,
+        m.rep.makespanNs / 1e3, m.rep.bubbleFraction, m.stages,
+        m.maxReplicas > 1 ? "true" : "false", m.maxReplicas,
+        m.rep.overlapSavedNs / 1e3, m.rep.transferNs / 1e3,
+        m.rep.transferPj / 1e3,
+        static_cast<long long>(m.cutBytesPerSample),
+        m.logitsMatchGraph ? "true" : "false", indent);
+    for (size_t c = 0; c < m.rep.chips.size(); ++c) {
+        const ChipReport &ch = m.rep.chips[c];
+        std::fprintf(
+            json,
+            "{\"chip\": %d, \"stage\": %d, \"replicas\": %d, "
+            "\"nodes\": %zu, \"programmed\": %zu, "
+            "\"crossbars\": %lld, \"utilization\": %.4f, "
+            "\"busy_us\": %.3f, \"compute_us\": %.3f, "
+            "\"quant_us\": %.3f, \"transfer_in_us\": %.3f}%s",
+            ch.chip, ch.stage, ch.replicas, ch.nodes,
+            ch.programmedNodes, static_cast<long long>(ch.crossbars),
+            ch.utilization, ch.busyNs / 1e3, ch.computeNs / 1e3,
+            ch.quantNs / 1e3, ch.transferInNs / 1e3,
+            c + 1 < m.rep.chips.size() ? ", " : "");
+    }
+    std::fprintf(json, "]}");
 }
 
 void
@@ -136,11 +258,13 @@ writePipelineJson(const std::vector<NetResult> &results)
                  "  \"threads\": %d,\n"
                  "  \"images\": %d,\n"
                  "  \"micro_batch\": %d,\n"
+                 "  \"replicate_threshold\": %.2f,\n"
+                 "  \"max_replicas\": %d,\n"
                  "  \"networks\": [\n",
-                 ThreadPool::global().threads(), kImages, kMicroBatch);
+                 ThreadPool::global().threads(), kImages, kMicroBatch,
+                 kReplicateThreshold, kMaxReplicas);
     for (size_t n = 0; n < results.size(); ++n) {
         const NetResult &r = results[n];
-        const double base_fps = r.points[0].rep.modeledFps();
         std::fprintf(json,
                      "    {\n"
                      "      \"name\": \"%s\",\n"
@@ -150,40 +274,27 @@ writePipelineJson(const std::vector<NetResult> &results)
                      static_cast<long long>(r.crossbars));
         for (size_t i = 0; i < r.points.size(); ++i) {
             const ChipCountResult &p = r.points[i];
+            const ModeResult &base = p.modes[0];
+            const ModeResult &best = p.modes[kNumModes - 1];
+            std::fprintf(json, "        {\"chips\": %d,\n", p.chips);
+            for (size_t mi = 0; mi < kNumModes; ++mi) {
+                std::fprintf(json, "         \"%s\": ",
+                             kModes[mi].name);
+                writeMode(json, p.modes[mi],
+                          r.points[0].modes[mi].rep.modeledFps(),
+                          "        ");
+                std::fprintf(json, ",\n");
+            }
+            // The headline deltas the replication + intra-chip tile
+            // features buy over the PR 3 contiguous schedule.
+            const double base_fps = base.rep.modeledFps();
             std::fprintf(
                 json,
-                "        {\"chips\": %d, "
-                "\"modeled_fps\": %.3f, "
-                "\"speedup_vs_1chip\": %.3f, "
-                "\"makespan_us\": %.3f, "
-                "\"bubble_fraction\": %.4f, "
-                "\"transfer_us\": %.3f, "
-                "\"transfer_nj\": %.3f, "
-                "\"cut_bytes_per_sample\": %lld, "
-                "\"logits_match_graph_runtime\": %s,\n"
-                "         \"per_chip\": [",
-                p.chips, p.rep.modeledFps(),
-                base_fps > 0.0 ? p.rep.modeledFps() / base_fps : 0.0,
-                p.rep.makespanNs / 1e3, p.rep.bubbleFraction,
-                p.rep.transferNs / 1e3, p.rep.transferPj / 1e3,
-                static_cast<long long>(p.cutBytesPerSample),
-                p.logitsMatchGraph ? "true" : "false");
-            for (size_t c = 0; c < p.rep.chips.size(); ++c) {
-                const ChipReport &ch = p.rep.chips[c];
-                std::fprintf(
-                    json,
-                    "{\"chip\": %d, \"nodes\": %zu, "
-                    "\"programmed\": %zu, \"crossbars\": %lld, "
-                    "\"utilization\": %.4f, \"compute_us\": %.3f, "
-                    "\"transfer_in_us\": %.3f}%s",
-                    ch.chip, ch.nodes, ch.programmedNodes,
-                    static_cast<long long>(ch.crossbars),
-                    ch.utilization, ch.computeNs / 1e3,
-                    ch.transferInNs / 1e3,
-                    c + 1 < p.rep.chips.size() ? ", " : "");
-            }
-            std::fprintf(json, "]}%s\n",
-                         i + 1 < r.points.size() ? "," : "");
+                "         \"fps_gain_vs_contiguous\": %.3f,\n"
+                "         \"bubble_drop_vs_contiguous\": %.4f}%s\n",
+                base_fps > 0.0 ? best.rep.modeledFps() / base_fps : 0.0,
+                base.rep.bubbleFraction - best.rep.bubbleFraction,
+                i + 1 < r.points.size() ? "," : "");
         }
         std::fprintf(json, "      ]\n    }%s\n",
                      n + 1 < results.size() ? "," : "");
@@ -199,9 +310,12 @@ writePipelineJson(const std::vector<NetResult> &results)
 int
 main()
 {
-    std::printf("Multi-chip pipelined graph scheduler: ResNet zoo "
-                "across %d / %d / %d chips\n",
-                kChipCounts[0], kChipCounts[1], kChipCounts[2]);
+    std::printf("Multi-chip pipelined graph scheduler: ResNet zoo + "
+                "early-layer-bound convnet across %d / %d / %d / %d "
+                "chips,\nmodes: contiguous (PR 3) | tile_pipelined | "
+                "replicated_tile (threshold %.2f, <= %d replicas)\n",
+                kChipCounts[0], kChipCounts[1], kChipCounts[2],
+                kChipCounts[3], kReplicateThreshold, kMaxReplicas);
 
     std::vector<NetResult> results;
     {
@@ -214,14 +328,36 @@ main()
         auto net = nn::buildResNetDeep(rng, 10, 8);
         results.push_back(runNet("resnet_deep", *net));
     }
+    {
+        Rng rng(13);
+        auto net = buildStemWide(rng);
+        results.push_back(runNet("stem_wide", *net));
+    }
     writePipelineJson(results);
 
-    // The headline contract, in one line each.
+    // The headline contracts, one line each: bit-exactness in every
+    // mode, and the two new features must beat the PR 3 baseline at
+    // 4 chips (lower bubble, higher modeled fps).
     bool all_exact = true;
-    for (const auto &r : results)
-        for (const auto &p : r.points)
-            all_exact = all_exact && p.logitsMatchGraph;
+    bool all_faster = true;
+    for (const auto &r : results) {
+        for (const auto &p : r.points) {
+            for (const auto &m : p.modes)
+                all_exact = all_exact && m.logitsMatchGraph;
+            if (p.chips == 4) {
+                const auto &base = p.modes[0].rep;
+                const auto &best = p.modes[kNumModes - 1].rep;
+                all_faster = all_faster &&
+                    best.modeledFps() > base.modeledFps() &&
+                    best.bubbleFraction < base.bubbleFraction;
+            }
+        }
+    }
     std::printf("\npipelined logits vs GraphRuntime at every chip "
-                "count: %s\n", all_exact ? "EXACT" : "DIVERGED");
-    return all_exact ? 0 : 1;
+                "count and mode: %s\n",
+                all_exact ? "EXACT" : "DIVERGED");
+    std::printf("replicated_tile beats contiguous at 4 chips "
+                "(fps up, bubble down): %s\n",
+                all_faster ? "YES" : "NO");
+    return all_exact && all_faster ? 0 : 1;
 }

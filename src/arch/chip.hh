@@ -10,9 +10,19 @@
  * chip's topological node order in the pipeline runtime — which fixes
  * the per-chip stats presentation order (DESIGN.md §5).
  *
+ * A node in a replicated stage (compile::Schedule stage width > 1)
+ * is programmed into the pool of *every* chip of its stage, one
+ * replica engine each. Device variation draws at program time from a
+ * stream seeded only by the engine config, so all replicas hold
+ * identical conductances; which presentations a replica processes —
+ * and how its engine stream is seeked — is the executor's business
+ * (sim::StageEngines, docs/SCHEDULING.md), not the pool's.
+ *
  * Thread-safety: program() is construction-time only (single thread);
  * after programming, the engines' mvm/mvmBatch calls are internally
- * pool-sharded and safe to drive from the owning runtime.
+ * pool-sharded and safe to drive from the owning runtime. The pool
+ * owns engines and mappings outright; callers borrow raw pointers
+ * that stay valid for the pool's lifetime.
  */
 
 #ifndef FORMS_ARCH_CHIP_HH

@@ -194,18 +194,32 @@ std::vector<std::vector<double>>
 CrossbarEngine::mvmBatch(const std::vector<std::vector<uint32_t>> &batch,
                          EngineStats *stats, ThreadPool *pool)
 {
-    std::vector<std::vector<double>> outs(batch.size());
-    std::vector<EngineStats> per(batch.size());
+    return mvmRange(batch, 0, batch.size(), stats, pool);
+}
+
+std::vector<std::vector<double>>
+CrossbarEngine::mvmRange(const std::vector<std::vector<uint32_t>> &batch,
+                         size_t lo, size_t hi, EngineStats *stats,
+                         ThreadPool *pool)
+{
+    FORMS_ASSERT(lo <= hi && hi <= batch.size(),
+                 "mvmRange: slice [%zu, %zu) outside batch of %zu", lo,
+                 hi, batch.size());
+    const size_t count = hi - lo;
+    std::vector<std::vector<double>> outs(count);
+    std::vector<EngineStats> per(count);
     const uint64_t base = nextPresentation_;
-    nextPresentation_ += batch.size();
+    nextPresentation_ += count;
+    if (count == 0)
+        return outs;
 
     ThreadPool &tp = pool ? *pool : ThreadPool::global();
     tp.parallelFor(
-        0, static_cast<int64_t>(batch.size()), 1,
+        0, static_cast<int64_t>(count), 1,
         [&](int64_t i, int) {
             const size_t s = static_cast<size_t>(i);
-            mvmOne(batch[s], base + static_cast<uint64_t>(i), outs[s],
-                   per[s]);
+            mvmOne(batch[lo + s], base + static_cast<uint64_t>(i),
+                   outs[s], per[s]);
         });
 
     // Merge per-presentation stats in presentation order: identical

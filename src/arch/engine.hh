@@ -144,8 +144,39 @@ class CrossbarEngine
     mvmBatch(const std::vector<std::vector<uint32_t>> &batch,
              EngineStats *stats = nullptr, ThreadPool *pool = nullptr);
 
+    /**
+     * Batched matrix-vector products over the contiguous slice
+     * [lo, hi) of `batch`: identical to mvmBatch() on just that
+     * slice. The replicated-stage path (sim/stage_kernels.hh) hands
+     * each replica engine its own slice without copying the batch;
+     * the slice consumes stream positions [pos, pos + (hi - lo)) of
+     * this engine's presentation stream, so callers seek first when
+     * the slice's global presentation indices do not start at the
+     * engine's current position.
+     */
+    std::vector<std::vector<double>>
+    mvmRange(const std::vector<std::vector<uint32_t>> &batch, size_t lo,
+             size_t hi, EngineStats *stats = nullptr,
+             ThreadPool *pool = nullptr);
+
     /** Restart the per-presentation RNG stream at index 0. */
     void resetPresentationStream() { nextPresentation_ = 0; }
+
+    /** Next index of the engine-lifetime presentation stream. */
+    uint64_t presentationStreamPos() const { return nextPresentation_; }
+
+    /**
+     * Seek the presentation stream to `index`. Replica engines of one
+     * replicated stage process presentation-index-keyed slices of
+     * each micro-batch; seeking keeps every replica's per-presentation
+     * RNG keyed by the same global index the single-engine run would
+     * use — the mechanism behind the replication bit-identity
+     * contract (DESIGN.md §5).
+     */
+    void seekPresentationStream(uint64_t index)
+    {
+        nextPresentation_ = index;
+    }
 
     /** Mix (seed, presentation index) into one RNG stream seed. */
     static uint64_t presentationSeed(uint64_t seed, uint64_t index);

@@ -261,8 +261,13 @@ Graph::dump() const
             out += strfmt(" %d", in);
         if (!n.outShape.empty())
             out += "  " + shapeStr(n.outShape);
+        // %.9g round-trips any float32 exactly: distinct calibrated
+        // scales always print distinctly (%g's 6 significant digits
+        // collapsed nearby scales — e.g. on the replicated shortcut
+        // paths a residual join fans into — making dumps ambiguous),
+        // and the output is a pure function of the stored value.
         if (n.inScale > 0.0f)
-            out += strfmt("  in_scale=%g", n.inScale);
+            out += strfmt("  in_scale=%.9g", n.inScale);
         if (n.id == output_)
             out += "  (output)";
         out += "\n";

@@ -7,12 +7,40 @@
 
 namespace forms::sim {
 
+namespace {
+
+/**
+ * Program one matrix node's replicas: every hosting chip maps and
+ * programs its own engine from the same compression state, so the
+ * programmed conductances are identical across replicas (device
+ * variation draws from a stream seeded only by the engine config).
+ * Fills the exec's engine/replica/mapped pointers.
+ */
+void
+programReplicas(NodeExec &e, int id, admm::LayerState &st,
+                const RuntimeConfig &cfg,
+                std::vector<arch::EnginePool> &pools)
+{
+    // One mapping serves every replica — the quantize-and-map result
+    // is a pure function of (state, config).
+    const arch::MappedLayer mapped = arch::mapLayer(st, cfg.mapping);
+    for (int chip : e.replicaChips) {
+        arch::EnginePool &pool = pools[static_cast<size_t>(chip)];
+        pool.program(id, mapped, cfg.engine);
+        e.replicas.push_back(pool.engine(id));
+    }
+    e.engine = e.replicas.front();
+    e.mapped = pools[static_cast<size_t>(e.chip)].mapped(id);
+}
+
+} // namespace
+
 std::vector<NodeExec>
 buildNodeExecs(const compile::Graph &g, const std::vector<int> &topo,
                std::vector<admm::LayerState> &layers,
                const RuntimeConfig &cfg,
                std::vector<arch::EnginePool> &pools,
-               const std::function<int(int)> &chip_of)
+               const std::function<std::vector<int>(int)> &chips_of)
 {
     std::vector<NodeExec> execs;
     execs.reserve(topo.size());
@@ -23,12 +51,17 @@ buildNodeExecs(const compile::Graph &g, const std::vector<int> &topo,
         e.nodeId = id;
         e.name = n.name;
         e.inputs = n.inputs;
-        e.chip = chip_of(id);
-        FORMS_ASSERT(e.chip >= 0 &&
-                         static_cast<size_t>(e.chip) < pools.size(),
-                     "graph exec: node assigned outside the chip pools "
-                     "— was the schedule built from this graph?");
-        arch::EnginePool &chip = pools[static_cast<size_t>(e.chip)];
+        e.replicaChips = chips_of(id);
+        FORMS_ASSERT(!e.replicaChips.empty(),
+                     "graph exec: node hosted by no chip");
+        for (int chip : e.replicaChips) {
+            FORMS_ASSERT(chip >= 0 &&
+                             static_cast<size_t>(chip) < pools.size(),
+                         "graph exec: node assigned outside the chip "
+                         "pools — was the schedule built from this "
+                         "graph?");
+        }
+        e.chip = e.replicaChips.front();
 
         switch (n.op) {
         case compile::Op::Conv: {
@@ -38,10 +71,7 @@ buildNodeExecs(const compile::Graph &g, const std::vector<int> &topo,
                 fatal("graph exec: no compression state for conv "
                       "node '%s'", n.name.c_str());
             }
-            chip.program(id, arch::mapLayer(*st, cfg.mapping),
-                         cfg.engine);
-            e.engine = chip.engine(id);
-            e.mapped = chip.mapped(id);
+            programReplicas(e, id, *st, cfg, pools);
             e.outC = n.conv->outChannels();
             e.k = n.conv->kernel();
             e.stride = n.conv->stride();
@@ -64,10 +94,7 @@ buildNodeExecs(const compile::Graph &g, const std::vector<int> &topo,
                 fatal("graph exec: no compression state for dense "
                       "node '%s'", n.name.c_str());
             }
-            chip.program(id, arch::mapLayer(*st, cfg.mapping),
-                         cfg.engine);
-            e.engine = chip.engine(id);
-            e.mapped = chip.mapped(id);
+            programReplicas(e, id, *st, cfg, pools);
             e.outC = n.dense->outDim();
             e.bias = tensorToVector(n.dense->bias());
             e.scale = resolveStageScale(cfg, n.name, n.inScale);
@@ -110,7 +137,7 @@ Tensor
 runGraph(const compile::Graph &g, const std::vector<NodeExec> &execs,
          const Tensor &batch, ThreadPool &tp, int input_bits,
          std::vector<arch::EngineStats> &stats,
-         const std::function<void(size_t, double)> &on_programmed)
+         const PhaseSink &on_phase)
 {
     FORMS_ASSERT(stats.size() == execs.size(),
                  "runGraph: stats accumulators must parallel execs");
@@ -142,22 +169,28 @@ runGraph(const compile::Graph &g, const std::vector<NodeExec> &execs,
             out.ref = &batch;
             break;
         case compile::Op::Conv: {
-            const double before = stats[idx].timeNs;
-            out.owned = convStage(in(0), *e.engine, *e.mapped, e.bias,
+            StageEngines se{e.replicas, {}};
+            if (on_phase)
+                se.onPhase = [&on_phase, idx](int r, double dt,
+                                              uint64_t qv) {
+                    on_phase(idx, r, dt, qv);
+                };
+            out.owned = convStage(in(0), se, *e.mapped, e.bias,
                                   e.chanScale, e.outC, e.k, e.stride,
                                   e.pad, input_bits, e.scale, tp,
                                   &stats[idx]);
-            if (on_programmed)
-                on_programmed(idx, stats[idx].timeNs - before);
             break;
         }
         case compile::Op::Dense: {
-            const double before = stats[idx].timeNs;
-            out.owned = denseStage(in(0), *e.engine, *e.mapped, e.bias,
+            StageEngines se{e.replicas, {}};
+            if (on_phase)
+                se.onPhase = [&on_phase, idx](int r, double dt,
+                                              uint64_t qv) {
+                    on_phase(idx, r, dt, qv);
+                };
+            out.owned = denseStage(in(0), se, *e.mapped, e.bias,
                                    e.outC, input_bits, e.scale, tp,
                                    &stats[idx]);
-            if (on_programmed)
-                on_programmed(idx, stats[idx].timeNs - before);
             break;
         }
         case compile::Op::BatchNorm:

@@ -37,12 +37,18 @@ struct NodeExec
 {
     compile::Op op = compile::Op::Input;
     int nodeId = -1;
-    int chip = 0;              //!< owning chip (0 for single-chip runtimes)
+    int chip = 0;              //!< primary chip (0 for single-chip runtimes)
     std::string name;
     std::vector<int> inputs;   //!< producer node ids
 
-    // Conv / Dense: the programmed hardware, owned by the chip's pool.
+    // Conv / Dense: the programmed hardware, owned by each hosting
+    // chip's pool. `engine` is the primary replica (== replicas[0]);
+    // a replicated matrix node (compile::Schedule stage width > 1)
+    // carries one engine per replica chip, all programmed from the
+    // same weights (see sim::StageEngines for the slicing contract).
     arch::CrossbarEngine *engine = nullptr;
+    std::vector<arch::CrossbarEngine *> replicas;
+    std::vector<int> replicaChips;   //!< parallel to replicas
     const arch::MappedLayer *mapped = nullptr;
     int outC = 0, k = 0, stride = 0, pad = 0;
     std::vector<float> bias;
@@ -57,24 +63,39 @@ struct NodeExec
 };
 
 /**
+ * Per-phase timing callback of runGraph, fired once per (programmed
+ * node, replica) in execution order: exec index, replica index, the
+ * ADC-limited model-time delta that replica's presentation slice
+ * added, and the activation values it quantized. The pipeline
+ * runtime's intra-chip tile pipeline model (sim/perf_model.hh) turns
+ * these into per-phase busy intervals.
+ */
+using PhaseSink = std::function<void(size_t, int, double, uint64_t)>;
+
+/**
  * Build the executable form of every node in `topo`: map and program
- * matrix nodes into pools[chip_of(id)] (device variation draws at
- * program time), snapshot eval-mode BN affines, copy conv/pool
- * geometry and the digital output stage, and resolve each matrix
- * node's input-quantization scale (in arch::ScaleMode::Static, from
+ * matrix nodes into the pools of every chip chips_of(id) names
+ * (device variation draws at program time from a stream seeded only
+ * by the engine config, so replicas program identical conductances),
+ * snapshot eval-mode BN affines, copy conv/pool geometry and the
+ * digital output stage, and resolve each matrix node's
+ * input-quantization scale (in arch::ScaleMode::Static, from
  * cfg.calibration or the node's attached Node::inScale — fatal()s
  * when neither covers a programmed node).
  *
  * @param layers per-layer compression state, matched to matrix nodes
  *        by weight-tensor identity; fatal()s when a node has none
- * @param chip_of node id -> chip index in [0, pools.size())
+ * @param chips_of node id -> hosting chip indices in
+ *        [0, pools.size()), primary first; single-chip runtimes
+ *        return {0}, the pipeline runtime returns the node's stage
+ *        chips (several for a replicated stage)
  */
 std::vector<NodeExec>
 buildNodeExecs(const compile::Graph &g, const std::vector<int> &topo,
                std::vector<admm::LayerState> &layers,
                const RuntimeConfig &cfg,
                std::vector<arch::EnginePool> &pools,
-               const std::function<int(int)> &chip_of);
+               const std::function<std::vector<int>(int)> &chips_of);
 
 /**
  * Stream one NCHW batch through the DAG in `execs` order (a
@@ -84,17 +105,18 @@ buildNodeExecs(const compile::Graph &g, const std::vector<int> &topo,
  *
  * @param stats per-exec EngineStats accumulators (parallel to
  *        `execs`); each programmed node's batch stats merge into its
- *        slot in presentation order, so reusing the same vector
- *        across calls reproduces one engine-lifetime serial fold
- * @param on_programmed optional; fired after each programmed node
- *        with (exec index, modeled-time delta this batch added)
+ *        slot in presentation order — replicated nodes fold their
+ *        replica slices in ascending replica (= presentation) order
+ *        into the same slot — so reusing the same vector across
+ *        calls reproduces one engine-lifetime serial fold
+ * @param on_phase optional per-(node, replica) timing sink; see
+ *        PhaseSink
  */
 Tensor runGraph(const compile::Graph &g,
                 const std::vector<NodeExec> &execs, const Tensor &batch,
                 ThreadPool &tp, int input_bits,
                 std::vector<arch::EngineStats> &stats,
-                const std::function<void(size_t, double)> &on_programmed =
-                    {});
+                const PhaseSink &on_phase = {});
 
 /**
  * Merge every programmed exec's accumulated stats into `report` rows

@@ -12,7 +12,7 @@ GraphRuntime::GraphRuntime(const compile::Graph &graph,
     : graph_(graph), topo_(graph.topoOrder()), pools_(1), cfg_(cfg)
 {
     execs_ = buildNodeExecs(graph_, topo_, layers, cfg_, pools_,
-                            [](int) { return 0; });
+                            [](int) { return std::vector<int>{0}; });
 }
 
 GraphRuntime::~GraphRuntime() = default;

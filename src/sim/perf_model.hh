@@ -158,6 +158,62 @@ struct InterChipLink
     double transferPj(int64_t bytes) const;
 };
 
+/**
+ * Intra-chip tile pipeline timing model (FORMS inherits ISAAC's
+ * intra-tile pipelining): each programmed node's time on a chip
+ * splits into two phases — a digital input-quantization phase (the
+ * DAC front-end turning activations into bit-serial presentations)
+ * and the ADC-limited analog/digital phase (the engine model time).
+ * With `overlap` set, node k+1's quantization phase runs while node
+ * k's ADC phase drains the tail of the presentation stream, so a
+ * chip's busy time for one micro-batch follows the two-phase chained
+ * recurrence in chipBusyNs(); with it clear the phases serialize.
+ * The quantization throughput is a knob, not paper data (the paper
+ * reports only the ADC-limited path).
+ */
+struct TilePipeline
+{
+    /** Overlap layer L's ADC phase with layer L+1's quantization. */
+    bool overlap = true;
+
+    /**
+     * Digital input-quantization time per activation scalar (ns).
+     * The default models a fully pipelined 2 GHz fixed-point
+     * quantizer, one value per cycle.
+     */
+    double quantNsPerValue = 0.5;
+
+    /** Quantization-phase time for `values` activation scalars. */
+    double quantNs(uint64_t values) const
+    {
+        return quantNsPerValue * static_cast<double>(values);
+    }
+};
+
+/**
+ * One programmed node's per-phase busy interval within a chip:
+ * quantization (digital front-end) then ADC-limited compute.
+ */
+struct PhaseInterval
+{
+    double quantNs = 0.0;
+    double computeNs = 0.0;
+};
+
+/**
+ * Busy time of one chip executing `phases` (its programmed nodes'
+ * per-phase intervals, in topological order) for one micro-batch.
+ * Serial: sum of (quant + compute). Overlapped: node k+1's
+ * quantization hides behind node k's compute,
+ *
+ *     busy = q_1 + sum_{k=1}^{K-1} max(c_k, q_{k+1}) + c_K,
+ *
+ * which never exceeds the serial time and never undercuts the pure
+ * compute sum (docs/SCHEDULING.md derives it).
+ */
+double chipBusyNs(const std::vector<PhaseInterval> &phases,
+                  const TilePipeline &tile);
+
 /** Published reference design points for Table V (paper's numbers). */
 struct ReferencePoint
 {

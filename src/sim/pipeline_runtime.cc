@@ -14,8 +14,21 @@ PipelineRuntime::PipelineRuntime(const compile::Graph &graph,
     : graph_(graph), sched_(std::move(sched)), topo_(graph.topoOrder()),
       pools_(static_cast<size_t>(sched_.chips())), cfg_(cfg)
 {
-    execs_ = buildNodeExecs(graph_, topo_, layers, cfg_.runtime, pools_,
-                            [this](int id) { return sched_.chipOf(id); });
+    execs_ = buildNodeExecs(
+        graph_, topo_, layers, cfg_.runtime, pools_, [this](int id) {
+            // Every chip of the node's stage hosts it: one chip for
+            // ordinary stages, R consecutive chips for a replicated
+            // stage (which holds exactly one matrix node).
+            const int s = sched_.stageOf(id);
+            FORMS_ASSERT(s >= 0, "pipeline: node %d missing from the "
+                                 "schedule — was it built from this "
+                                 "graph?", id);
+            std::vector<int> chips;
+            const int first = sched_.stageFirstChip(s);
+            for (int c = 0; c < sched_.stageWidth(s); ++c)
+                chips.push_back(first + c);
+            return chips;
+        });
 }
 
 PipelineRuntime::~PipelineRuntime() = default;
@@ -56,19 +69,24 @@ PipelineRuntime::forward(const Tensor &batch, PipelineReport *report)
     const int num_mb = static_cast<int>((images + mb - 1) / mb);
     const int64_t sample_elems = batch.numel() / images;
     const int n_chips = sched_.chips();
+    const int n_stages = sched_.stages();
 
     // Engine-lifetime stat accumulators, one per node. Every
-    // micro-batch's mvmBatch merges into the same accumulator, so the
-    // final fold has the exact presentation order (and floating-point
-    // grouping) of one full-batch GraphRuntime forward — the
-    // bit-identical contract across micro-batch sizes.
+    // micro-batch's stage call merges into the same accumulator — a
+    // replicated node's replica slices fold in ascending replica
+    // (= presentation) order — so the final fold has the exact
+    // presentation order (and floating-point grouping) of one
+    // full-batch GraphRuntime forward: the bit-identical contract
+    // across micro-batch sizes and replication factors.
     std::vector<arch::EngineStats> node_stats(execs_.size());
 
-    // Modeled per-(chip, micro-batch) busy time, from the ADC-limited
-    // engine time each stage added to its node accumulator.
-    std::vector<std::vector<double>> busy(
+    // Per-(chip, micro-batch) phase intervals, one per hosted
+    // programmed node in topological order: the digital quantization
+    // phase and the ADC-limited phase each replica's slice added.
+    std::vector<std::vector<std::vector<PhaseInterval>>> phases(
         static_cast<size_t>(n_chips),
-        std::vector<double>(static_cast<size_t>(num_mb), 0.0));
+        std::vector<std::vector<PhaseInterval>>(
+            static_cast<size_t>(num_mb)));
 
     std::vector<Tensor> mb_out(static_cast<size_t>(num_mb));
     for (int m = 0; m < num_mb; ++m) {
@@ -83,9 +101,13 @@ PipelineRuntime::forward(const Tensor &batch, PipelineReport *report)
 
         mb_out[static_cast<size_t>(m)] = runGraph(
             graph_, execs_, micro, tp, cfg_.runtime.mapping.inputBits,
-            node_stats, [&](size_t idx, double dt) {
-                busy[static_cast<size_t>(execs_[idx].chip)]
-                    [static_cast<size_t>(m)] += dt;
+            node_stats,
+            [&](size_t idx, int replica, double adc_ns,
+                uint64_t quant_values) {
+                const int chip = execs_[idx].replicaChips
+                    [static_cast<size_t>(replica)];
+                phases[static_cast<size_t>(chip)][static_cast<size_t>(m)]
+                    .push_back({cfg_.tile.quantNs(quant_values), adc_ns});
             });
     }
 
@@ -109,30 +131,60 @@ PipelineRuntime::forward(const Tensor &batch, PipelineReport *report)
             std::chrono::duration<double, std::milli>(
                 std::chrono::steady_clock::now() - t0).count();
 
-        // Modeled pipeline schedule: chip s starts micro-batch m once
-        // (a) its inbound transfers for m have landed and (b) it
-        // finished m-1. done[s][m] closes the recurrence.
-        std::vector<std::vector<double>> xfer(
+        // Per-chip busy intervals under the intra-chip tile pipeline
+        // model, and the serial (no-overlap) reference for the
+        // overlap-savings accounting.
+        std::vector<std::vector<double>> busy(
             static_cast<size_t>(n_chips),
             std::vector<double>(static_cast<size_t>(num_mb), 0.0));
-        std::vector<double> xfer_pj(static_cast<size_t>(n_chips), 0.0);
+        TilePipeline serial_tile = cfg_.tile;
+        serial_tile.overlap = false;
+        double overlap_saved = 0.0;
+        for (int c = 0; c < n_chips; ++c) {
+            for (int m = 0; m < num_mb; ++m) {
+                const auto &ph = phases[static_cast<size_t>(c)]
+                                       [static_cast<size_t>(m)];
+                const double b = chipBusyNs(ph, cfg_.tile);
+                busy[static_cast<size_t>(c)][static_cast<size_t>(m)] = b;
+                overlap_saved += chipBusyNs(ph, serial_tile) - b;
+            }
+        }
+
+        // Inbound transfer time/energy per receiving stage.
+        std::vector<std::vector<double>> xfer(
+            static_cast<size_t>(n_stages),
+            std::vector<double>(static_cast<size_t>(num_mb), 0.0));
+        std::vector<double> xfer_pj(static_cast<size_t>(n_stages), 0.0);
         for (const compile::Transfer &t : sched_.transfers()) {
             for (int m = 0; m < num_mb; ++m) {
                 const int64_t count = std::min(
                     mb, images - static_cast<int64_t>(m) * mb);
                 const int64_t bytes = t.bytesPerSample * count;
-                xfer[static_cast<size_t>(t.toChip)]
+                xfer[static_cast<size_t>(t.toStage)]
                     [static_cast<size_t>(m)] +=
                     cfg_.link.transferNs(bytes);
-                xfer_pj[static_cast<size_t>(t.toChip)] +=
+                xfer_pj[static_cast<size_t>(t.toStage)] +=
                     cfg_.link.transferPj(bytes);
             }
         }
+
+        // Modeled pipeline schedule over stages: stage s starts
+        // micro-batch m once (a) its inbound transfers for m have
+        // landed and (b) it finished m-1; its busy time is the
+        // slowest of its (replica) chips. done[s][m] closes the
+        // recurrence.
         std::vector<std::vector<double>> done(
-            static_cast<size_t>(n_chips),
+            static_cast<size_t>(n_stages),
             std::vector<double>(static_cast<size_t>(num_mb), 0.0));
-        for (int s = 0; s < n_chips; ++s) {
+        for (int s = 0; s < n_stages; ++s) {
+            const int first = sched_.stageFirstChip(s);
+            const int width = sched_.stageWidth(s);
             for (int m = 0; m < num_mb; ++m) {
+                double stage_busy = 0.0;
+                for (int c = first; c < first + width; ++c)
+                    stage_busy = std::max(
+                        stage_busy, busy[static_cast<size_t>(c)]
+                                        [static_cast<size_t>(m)]);
                 const double arrive =
                     (s > 0 ? done[static_cast<size_t>(s) - 1]
                                  [static_cast<size_t>(m)] : 0.0) +
@@ -142,42 +194,67 @@ PipelineRuntime::forward(const Tensor &batch, PipelineReport *report)
                                         [static_cast<size_t>(m) - 1]
                                   : 0.0);
                 done[static_cast<size_t>(s)][static_cast<size_t>(m)] =
-                    start +
-                    busy[static_cast<size_t>(s)][static_cast<size_t>(m)];
+                    start + stage_busy;
             }
         }
         const double makespan =
-            done[static_cast<size_t>(n_chips) - 1]
+            done[static_cast<size_t>(n_stages) - 1]
                 [static_cast<size_t>(num_mb) - 1];
 
         report->chips.clear();
         double total_busy = 0.0, total_xfer_ns = 0.0, total_xfer_pj = 0.0;
-        for (int s = 0; s < n_chips; ++s) {
-            ChipReport c;
-            c.chip = s;
-            c.nodes = sched_.chipNodes()[static_cast<size_t>(s)].size();
-            c.programmedNodes = pools_[static_cast<size_t>(s)].size();
-            c.crossbars = pools_[static_cast<size_t>(s)].totalCrossbars();
-            // Per-chip stats: node accumulators merged in topological
-            // (presentation) order — deterministic for any thread
-            // count and micro-batch size.
-            for (size_t idx = 0; idx < execs_.size(); ++idx) {
-                if (execs_[idx].engine && execs_[idx].chip == s)
-                    c.stats.merge(node_stats[idx]);
+        for (int s = 0; s < n_stages; ++s) {
+            const int first = sched_.stageFirstChip(s);
+            const int width = sched_.stageWidth(s);
+            double stage_xfer_ns = 0.0;
+            for (int m = 0; m < num_mb; ++m)
+                stage_xfer_ns += xfer[static_cast<size_t>(s)]
+                                     [static_cast<size_t>(m)];
+            for (int chip = first; chip < first + width; ++chip) {
+                ChipReport c;
+                c.chip = chip;
+                c.stage = s;
+                c.replicas = width;
+                c.nodes =
+                    sched_.chipNodes()[static_cast<size_t>(chip)].size();
+                c.programmedNodes =
+                    pools_[static_cast<size_t>(chip)].size();
+                c.crossbars =
+                    pools_[static_cast<size_t>(chip)].totalCrossbars();
+                // Per-chip stats: node accumulators merged in
+                // topological (presentation) order — deterministic
+                // for any thread count and micro-batch size. A
+                // replicated node's accumulator spans all replicas
+                // and lands on its primary chip.
+                for (size_t idx = 0; idx < execs_.size(); ++idx) {
+                    if (execs_[idx].engine && execs_[idx].chip == chip)
+                        c.stats.merge(node_stats[idx]);
+                }
+                for (int m = 0; m < num_mb; ++m) {
+                    for (const PhaseInterval &p :
+                         phases[static_cast<size_t>(chip)]
+                               [static_cast<size_t>(m)]) {
+                        c.quantNs += p.quantNs;
+                        c.computeNs += p.computeNs;
+                    }
+                    c.busyNs += busy[static_cast<size_t>(chip)]
+                                    [static_cast<size_t>(m)];
+                }
+                // Inbound link waits belong to the stage; report them
+                // on its primary chip.
+                if (chip == first) {
+                    c.transferInNs = stage_xfer_ns;
+                    c.transferInPj = xfer_pj[static_cast<size_t>(s)];
+                }
+                c.utilization =
+                    makespan > 0.0 ? c.busyNs / makespan : 0.0;
+                total_busy += c.busyNs;
+                total_xfer_ns += c.transferInNs;
+                total_xfer_pj += c.transferInPj;
+                report->chips.push_back(std::move(c));
             }
-            for (int m = 0; m < num_mb; ++m) {
-                c.computeNs += busy[static_cast<size_t>(s)]
-                                   [static_cast<size_t>(m)];
-                c.transferInNs += xfer[static_cast<size_t>(s)]
-                                      [static_cast<size_t>(m)];
-            }
-            c.transferInPj = xfer_pj[static_cast<size_t>(s)];
-            c.utilization = makespan > 0.0 ? c.computeNs / makespan : 0.0;
-            total_busy += c.computeNs;
-            total_xfer_ns += c.transferInNs;
-            total_xfer_pj += c.transferInPj;
-            report->chips.push_back(std::move(c));
         }
+        report->stages = n_stages;
         report->microBatches = num_mb;
         report->images = images;
         report->makespanNs = makespan;
@@ -186,6 +263,7 @@ PipelineRuntime::forward(const Tensor &batch, PipelineReport *report)
             : 0.0;
         report->transferNs = total_xfer_ns;
         report->transferPj = total_xfer_pj;
+        report->overlapSavedNs = overlap_saved;
     }
     return result;
 }

@@ -1,14 +1,18 @@
 /**
  * @file
- * Multi-chip pipelined executor for partitioned layer graphs.
+ * Multi-chip pipelined executor for partitioned layer graphs, with
+ * replicated stages and an intra-chip tile pipeline timing model.
  *
  * PipelineRuntime takes a compile::Graph plus a compile::Schedule
- * (the chip partition), programs each matrix node's engine into its
- * chip's arch::EnginePool, and streams batches through the DAG as a
- * micro-batch pipeline: while chip k computes its nodes on
- * micro-batch b, chip k-1 computes micro-batch b+1. Inter-chip edges
- * are the schedule's explicit Transfer records, charged with a
- * sim::InterChipLink latency/energy cost on the receiving chip.
+ * (the stage partition), programs each matrix node's engine into the
+ * arch::EnginePool of every chip hosting it — one chip for ordinary
+ * stages, R consecutive chips for a replicated stage — and streams
+ * batches through the DAG as a micro-batch pipeline: while stage k
+ * computes its nodes on micro-batch b, stage k-1 computes micro-batch
+ * b+1. Inter-stage edges are the schedule's explicit Transfer
+ * records, charged with a sim::InterChipLink latency/energy cost on
+ * the receiving stage; a `mergeReplicas` record marks where a
+ * replicated producer's presentation slices rejoin.
  *
  * The pipeline overlap is a *timing model* layered on a functionally
  * exact execution: numerically, every micro-batch flows through the
@@ -16,16 +20,34 @@
  * deterministic topological order, so
  *
  *   - logits are bit-identical to sim::GraphRuntime on the same
- *     graph, for ANY chip count, micro-batch size and thread count
- *     (chips shard work in the model, not in the arithmetic), and
+ *     graph, for ANY chip count, micro-batch size, thread count AND
+ *     replication factor (chips shard work in the model, not in the
+ *     arithmetic; replica r of R processes the contiguous
+ *     presentation-index slice [floor(P*r/R), floor(P*(r+1)/R)) of
+ *     each micro-batch with its engine stream seeked to the slice's
+ *     global presentation index), and
  *   - per-node EngineStats accumulate through one engine-lifetime
- *     fold in presentation order — each micro-batch's mvmBatch merges
- *     into the same per-node accumulator — reproducing the exact
- *     full-batch floating-point merge order (DESIGN.md §5).
+ *     fold in presentation order — each micro-batch's stage call
+ *     merges into the same per-node accumulator, and a replicated
+ *     node's replica slices fold in ascending replica (= global
+ *     presentation) order — reproducing the exact full-batch
+ *     floating-point merge order (DESIGN.md §5, docs/SCHEDULING.md).
  *
  * Per-chip stats merge the chip's node accumulators in topological
- * (presentation) order, preserving the bit-identical contract of
- * DESIGN.md §3/§4 across chips, micro-batches and thread counts.
+ * (presentation) order; a replicated node's accumulator spans all its
+ * replicas and is attributed to the stage's primary (first) chip.
+ *
+ * Timing model: per (chip, micro-batch) the runtime collects one
+ * sim::PhaseInterval per hosted programmed node — the digital
+ * input-quantization phase and the ADC-limited phase — and reduces
+ * them with sim::chipBusyNs (per-phase busy intervals; with
+ * TilePipeline::overlap, layer L's ADC phase hides layer L+1's
+ * quantization within a chip). Stages then close the recurrence
+ *
+ *     done[s][m] = max(done[s-1][m] + transfer[s][m],
+ *                      done[s][m-1]) + busy[s][m]
+ *
+ * where busy[s][m] is the max over the stage's (replica) chips.
  *
  * Thread-safety: construction and forward() must be called from one
  * thread at a time (the runtime owns mutable engine streams); the
@@ -37,7 +59,10 @@
  *     auto graph = compile::lowerNetwork(net);
  *     compile::foldBatchNorm(graph);
  *     graph.inferShapes({3, 32, 32});
- *     auto sched = compile::Schedule::partition(graph, {4, {}});
+ *     compile::ScheduleConfig scfg;
+ *     scfg.chips = 4;
+ *     scfg.replicateThreshold = 1.05;   // replicate pipeline hogs
+ *     auto sched = compile::Schedule::partition(graph, scfg);
  *     auto states = sim::snapshotCompress(net, frag, bits);
  *     sim::PipelineRuntime rt(graph, sched, states, cfg);
  *     Tensor logits = rt.forward(batch, &report);
@@ -59,20 +84,33 @@ struct PipelineRuntimeConfig
     RuntimeConfig runtime;  //!< geometry, engine knobs, host pool
     int microBatch = 1;     //!< images per pipeline micro-batch
     InterChipLink link;     //!< inter-chip transfer cost model
+    TilePipeline tile;      //!< intra-chip phase-overlap timing model
 };
 
 /** One chip's slice of a pipeline report. */
 struct ChipReport
 {
     int chip = -1;
+    int stage = -1;              //!< pipeline stage this chip serves
+    int replicas = 1;            //!< chips sharing the stage (>1 = replicated)
     size_t nodes = 0;            //!< graph nodes assigned
     size_t programmedNodes = 0;  //!< crossbar-programmed among them
     int64_t crossbars = 0;
-    arch::EngineStats stats;     //!< node accumulators merged in topo order
-    double computeNs = 0.0;      //!< modeled busy time over the batch
+
+    /**
+     * Node accumulators merged in topo order. A replicated node's
+     * accumulator covers all replicas and lands on the stage's
+     * primary chip only (replica chips report zero stats here but
+     * nonzero busy time).
+     */
+    arch::EngineStats stats;
+
+    double computeNs = 0.0;      //!< modeled ADC-phase time over the batch
+    double quantNs = 0.0;        //!< modeled quantization-phase time
+    double busyNs = 0.0;         //!< per-phase busy time (overlap applied)
     double transferInNs = 0.0;   //!< modeled wait on the inbound link
     double transferInPj = 0.0;   //!< inbound link energy
-    double utilization = 0.0;    //!< computeNs / pipeline makespan
+    double utilization = 0.0;    //!< busyNs / pipeline makespan
 };
 
 /**
@@ -85,12 +123,19 @@ struct PipelineReport
 {
     RuntimeReport nodes;          //!< per-node rows, GraphRuntime-compatible
     std::vector<ChipReport> chips;
+    int stages = 0;               //!< pipeline stages (< chips when replicated)
     int microBatches = 0;
     int64_t images = 0;
     double makespanNs = 0.0;      //!< modeled pipeline completion time
-    double bubbleFraction = 0.0;  //!< 1 - sum(compute) / (chips * makespan)
+    double bubbleFraction = 0.0;  //!< 1 - sum(busy) / (chips * makespan)
     double transferNs = 0.0;      //!< total modeled link time
     double transferPj = 0.0;      //!< total modeled link energy
+
+    /**
+     * Quantization-phase time hidden behind ADC phases by the
+     * intra-chip tile pipeline (0 when TilePipeline::overlap is off).
+     */
+    double overlapSavedNs = 0.0;
 
     /** Modeled pipeline throughput over this report's images. */
     double modeledFps() const
@@ -105,17 +150,19 @@ class PipelineRuntime
 {
   public:
     /**
-     * Map and program every Conv/Dense node of `graph` into its
-     * chip's engine pool.
+     * Map and program every Conv/Dense node of `graph` into the
+     * engine pool of each chip hosting it (replicated stages program
+     * one identical engine per replica chip).
      *
      * @param graph the compiled DAG; borrowed (with its backing
      *        nn::Network) — both must outlive the runtime
-     * @param sched chip partition from compile::Schedule::partition
+     * @param sched stage partition from compile::Schedule::partition
      *        on this same graph (copied; the schedule may be dropped)
      * @param layers per-layer compression state, matched to matrix
      *        nodes by weight-tensor identity — build *after*
      *        foldBatchNorm so projections see folded weights
-     * @param cfg geometry, engine knobs, micro-batch size, link model
+     * @param cfg geometry, engine knobs, micro-batch size, link and
+     *        tile-pipeline timing models
      */
     PipelineRuntime(const compile::Graph &graph,
                     compile::Schedule sched,
@@ -130,9 +177,10 @@ class PipelineRuntime
      * Stream a whole NCHW batch through the pipeline in micro-batches.
      * Returns the graph output (batch x classes for a classifier),
      * bit-identical to GraphRuntime::forward on the same graph and
-     * batch. Per-node stats merge into `report->nodes` rows in
-     * topological order; chip/pipeline fields are overwritten (they
-     * describe this forward, not an accumulation).
+     * batch for any chip count, micro-batch size, thread count and
+     * replication factor. Per-node stats merge into `report->nodes`
+     * rows in topological order; chip/pipeline fields are overwritten
+     * (they describe this forward, not an accumulation).
      */
     Tensor forward(const Tensor &batch, PipelineReport *report = nullptr);
 
@@ -143,7 +191,7 @@ class PipelineRuntime
     /** Restart every chip's presentation RNG streams. */
     void resetPresentationStreams();
 
-    /** The chip partition this runtime executes. */
+    /** The stage partition this runtime executes. */
     const compile::Schedule &schedule() const { return sched_; }
 
     /** Number of pipeline chips. */
@@ -152,7 +200,7 @@ class PipelineRuntime
     /** Configured images per micro-batch. */
     int microBatch() const { return cfg_.microBatch; }
 
-    /** Total crossbars programmed across all chips. */
+    /** Total crossbars programmed across all chips (replicas count). */
     int64_t totalCrossbars() const;
 
   private:

@@ -192,9 +192,9 @@ InferenceRuntime::forward(const Tensor &batch, RuntimeReport *report)
         }
         case Stage::Kind::Conv: {
             arch::EngineStats st;
-            cur = convStage(*act, *s.engine, s.mapped, s.bias, {},
-                            s.outC, s.k, s.stride, s.pad, in_bits,
-                            s.scale, tp, &st);
+            cur = convStage(*act, StageEngines{{s.engine.get()}, {}},
+                            s.mapped, s.bias, {}, s.outC, s.k, s.stride,
+                            s.pad, in_bits, s.scale, tp, &st);
             if (report) {
                 recordLayer(*report, programmed_idx, s.name, st,
                             s.mapped.numCrossbars(), st.presentations);
@@ -204,8 +204,9 @@ InferenceRuntime::forward(const Tensor &batch, RuntimeReport *report)
         }
         case Stage::Kind::Dense: {
             arch::EngineStats st;
-            cur = denseStage(*act, *s.engine, s.mapped, s.bias, s.outC,
-                             in_bits, s.scale, tp, &st);
+            cur = denseStage(*act, StageEngines{{s.engine.get()}, {}},
+                             s.mapped, s.bias, s.outC, in_bits, s.scale,
+                             tp, &st);
             if (report) {
                 recordLayer(*report, programmed_idx, s.name, st,
                             s.mapped.numCrossbars(), st.presentations);

@@ -113,10 +113,69 @@ channelValue(const std::vector<float> &deq, int oc)
         ? deq[static_cast<size_t>(oc)] : 0.0f;
 }
 
+/**
+ * Execute one micro-batch's presentations on a stage's engine
+ * replicas (see StageEngines in the header for the slicing and
+ * bit-identity contract). `rows` is the quantized values per
+ * presentation, reported through onPhase for the timing model.
+ */
+std::vector<std::vector<double>>
+replicatedMvm(const StageEngines &eng,
+              const std::vector<std::vector<uint32_t>> &q, int64_t rows,
+              arch::EngineStats *stats, ThreadPool &tp)
+{
+    const size_t p = q.size();
+    const size_t r_count = eng.replicas.size();
+    FORMS_ASSERT(r_count >= 1, "matrix stage with no engine");
+    // The per-phase sink needs model-time deltas even when the caller
+    // passes no accumulator.
+    arch::EngineStats scratch;
+    arch::EngineStats *acc =
+        stats ? stats : (eng.onPhase ? &scratch : nullptr);
+
+    if (r_count == 1) {
+        const double before = acc ? acc->timeNs : 0.0;
+        auto out = eng.replicas[0]->mvmBatch(q, acc, &tp);
+        if (eng.onPhase)
+            eng.onPhase(0, acc->timeNs - before,
+                        p * static_cast<uint64_t>(rows));
+        return out;
+    }
+
+    // Replica r takes the contiguous presentation slice
+    // [floor(p*r/R), floor(p*(r+1)/R)). Slices run (and fold their
+    // per-presentation stats into `acc`) in ascending replica order,
+    // and each replica's stream is seeked to its slice's global
+    // presentation index first — together that reproduces the exact
+    // outputs and stat fold of one engine running the whole stream.
+    const uint64_t base = eng.replicas[0]->presentationStreamPos();
+    std::vector<std::vector<double>> outs;
+    outs.reserve(p);
+    for (size_t r = 0; r < r_count; ++r) {
+        const size_t lo = p * r / r_count;
+        const size_t hi = p * (r + 1) / r_count;
+        arch::CrossbarEngine &e = *eng.replicas[r];
+        e.seekPresentationStream(base + lo);
+        const double before = acc ? acc->timeNs : 0.0;
+        auto part = e.mvmRange(q, lo, hi, acc, &tp);
+        if (eng.onPhase)
+            eng.onPhase(static_cast<int>(r), acc->timeNs - before,
+                        (hi - lo) * static_cast<uint64_t>(rows));
+        for (auto &v : part)
+            outs.push_back(std::move(v));
+    }
+    // Leave every replica at the stage's lifetime presentation count
+    // so the next micro-batch (and resetPresentationStreams) see the
+    // same stream position a single engine would.
+    for (arch::CrossbarEngine *e : eng.replicas)
+        e->seekPresentationStream(base + p);
+    return outs;
+}
+
 } // namespace
 
 Tensor
-convStage(const Tensor &act, arch::CrossbarEngine &engine,
+convStage(const Tensor &act, const StageEngines &engines,
           const arch::MappedLayer &mapped,
           const std::vector<float> &bias,
           const std::vector<float> &chan_scale, int out_c, int k,
@@ -144,7 +203,7 @@ convStage(const Tensor &act, arch::CrossbarEngine &engine,
                                    pc, /*j_stride=*/1, /*r_stride=*/m,
                                    stats);
 
-    auto raw = engine.mvmBatch(q, stats, &tp);
+    auto raw = replicatedMvm(engines, q, rows, stats, tp);
 
     Tensor out({n, out_c, oh, ow});
     float *po = out.data();
@@ -166,7 +225,7 @@ convStage(const Tensor &act, arch::CrossbarEngine &engine,
 }
 
 Tensor
-denseStage(const Tensor &act, arch::CrossbarEngine &engine,
+denseStage(const Tensor &act, const StageEngines &engines,
            const arch::MappedLayer &mapped,
            const std::vector<float> &bias, int out_dim, int input_bits,
            const StageScale &sc, ThreadPool &tp,
@@ -182,7 +241,7 @@ denseStage(const Tensor &act, arch::CrossbarEngine &engine,
                                    pi, /*j_stride=*/feats,
                                    /*r_stride=*/1, stats);
 
-    auto raw = engine.mvmBatch(q, stats, &tp);
+    auto raw = replicatedMvm(engines, q, feats, stats, tp);
 
     Tensor out({n, out_dim});
     float *po = out.data();

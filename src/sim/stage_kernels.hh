@@ -78,9 +78,46 @@ quantizePresentations(ThreadPool &tp, int64_t count, int64_t rows,
                       arch::EngineStats *stats);
 
 /**
+ * The programmed engines executing one matrix stage. `replicas[0]` is
+ * the primary engine; additional entries are replica engines on other
+ * chips, all programmed from the same weights with the same config
+ * (so their programmed conductances are identical — device variation
+ * draws from a stream seeded only by cfg.variationSeed).
+ *
+ * Replica r of R processes the contiguous, presentation-index-keyed
+ * slice [floor(P*r/R), floor(P*(r+1)/R)) of each micro-batch's P
+ * presentations. Before each slice runs, the replica's engine stream
+ * is seek()ed to the slice's global presentation index, and replica
+ * slices execute (and fold stats) in ascending replica order — so
+ * outputs AND the per-presentation stat fold are bit-identical to one
+ * engine processing the whole stream serially, for any replica count
+ * (DESIGN.md §5). After the stage, every replica's stream is left at
+ * the stage's lifetime presentation count, so resetting/replaying
+ * behaves exactly like the single-engine case.
+ *
+ * Thread-safety: borrowed engines; one stage call at a time (streams
+ * advance), work shards internally on the caller's pool.
+ */
+struct StageEngines
+{
+    std::vector<arch::CrossbarEngine *> replicas;  //!< size >= 1
+
+    /**
+     * Optional per-phase timing sink, fired once per replica in
+     * ascending replica order: (replica index, ADC-limited model-time
+     * delta this slice added, activation values quantized for this
+     * slice). The pipeline runtime turns these into per-phase busy
+     * intervals for the intra-chip tile pipeline model
+     * (sim/perf_model.hh); plain inference leaves it unset.
+     */
+    std::function<void(int, double, uint64_t)> onPhase;
+};
+
+/**
  * Run one conv stage: lower the NCHW batch to im2col presentations,
- * quantize (per `sc`), execute on `engine`, and dequantize back to an
- * NCHW output tensor through the digital output stage
+ * quantize (per `sc`), execute on the stage's engine replicas, and
+ * dequantize back to an NCHW output tensor through the digital
+ * output stage
  *
  *     out[oc] = chan_scale[oc] * mvm[oc] + bias[oc]
  *
@@ -88,7 +125,7 @@ quantizePresentations(ThreadPool &tp, int64_t count, int64_t rows,
  * per-channel scale carries BN folded into the periphery
  * (compile::FoldMode::DigitalScale).
  */
-Tensor convStage(const Tensor &act, arch::CrossbarEngine &engine,
+Tensor convStage(const Tensor &act, const StageEngines &engines,
                  const arch::MappedLayer &mapped,
                  const std::vector<float> &bias,
                  const std::vector<float> &chan_scale, int out_c, int k,
@@ -97,7 +134,7 @@ Tensor convStage(const Tensor &act, arch::CrossbarEngine &engine,
                  arch::EngineStats *stats);
 
 /** Run one dense stage on a flattened (N, features) batch. */
-Tensor denseStage(const Tensor &act, arch::CrossbarEngine &engine,
+Tensor denseStage(const Tensor &act, const StageEngines &engines,
                   const arch::MappedLayer &mapped,
                   const std::vector<float> &bias, int out_dim,
                   int input_bits, const StageScale &sc, ThreadPool &tp,

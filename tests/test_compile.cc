@@ -405,6 +405,35 @@ TEST(FoldBatchNorm, WeightsVsDigitalScaleAgreeOnIdentityShortcutBlock)
     expectClose(y_w, y_d, tol);
 }
 
+TEST(GraphIr, DumpIsGoldenStableAndRoundTripsInScale)
+{
+    // Hand-built DAG with a multi-consumer ("replicated path") value:
+    // the relu feeds both operands of the join, like a shortcut edge.
+    compile::Graph g;
+    const int in = g.addNode(compile::Op::Input, "in", {});
+    const int relu = g.addNode(compile::Op::Relu, "relu", {in});
+    const int join = g.addNode(compile::Op::Add, "join", {relu, relu});
+    const int out = g.addNode(compile::Op::Relu, "out", {join});
+    g.setOutput(out);
+    g.inferShapes({2, 4, 4});
+
+    // Two distinct float32 scales that 6-significant-digit %g would
+    // print identically ("1"): the dump must keep them apart.
+    g.node(relu).inScale = 1.0f;
+    g.node(join).inScale = 1.00000012f;   // 1 + 2^-23, nextafter(1)
+
+    const std::string expected =
+        "  0 input     in               <-  [2, 4, 4]\n"
+        "  1 relu      relu             <- 0  [2, 4, 4]"
+        "  in_scale=1\n"
+        "  2 add       join             <- 1 1  [2, 4, 4]"
+        "  in_scale=1.00000012\n"
+        "  3 relu      out              <- 2  [2, 4, 4]  (output)\n";
+    EXPECT_EQ(g.dump(), expected);
+    // Deterministic: a second dump is byte-identical.
+    EXPECT_EQ(g.dump(), expected);
+}
+
 TEST(GraphIr, BypassRewiresConsumersAndOutput)
 {
     Rng rng(41);

@@ -5,7 +5,9 @@
  * with identity and projection shortcuts, pooling), folds BN in a
  * randomly chosen mode, optionally calibrates a static activation
  * scale, and cross-checks GraphRuntime against PipelineRuntime —
- * random thread counts, chip counts and micro-batch sizes — for
+ * random thread counts, chip counts, micro-batch sizes AND
+ * stage-replication factors (random replicateThreshold/maxReplicas,
+ * so heavy nodes spread across several replica chips) — for
  * bitwise-identical logits and per-node EngineStats, with ADC
  * quantization, device variation and read noise all enabled
  * (DESIGN.md §3–§5). Hand-picked networks only cover the topologies
@@ -26,8 +28,9 @@
 namespace forms {
 namespace {
 
-constexpr int kGraphs = 20;
-constexpr int kHw = 12;   //!< input spatial extent
+constexpr int kGraphs = 20;      //!< general random DAGs
+constexpr int kStemGraphs = 6;   //!< stem-dominated nets (replication)
+constexpr int kHw = 12;          //!< input spatial extent
 
 /** Nontrivial BN parameters everywhere (folding must do real work). */
 void
@@ -116,6 +119,35 @@ makeRandomNet(Rng &rng, int *classes_out)
     return net;
 }
 
+/**
+ * Stem-dominated net: one wide stem conv over the full extent, then a
+ * cheap tail — the stem carries several times the ideal per-chip work
+ * share, so Schedule::partition provably cannot balance it with
+ * contiguous cuts and chooses a replicated stage instead. The general
+ * generator above almost never produces this shape (its work is too
+ * uniform), so replication gets its own pool of graphs.
+ */
+std::unique_ptr<nn::Network>
+makeStemHeavyNet(Rng &rng, int *classes_out)
+{
+    auto net = std::make_unique<nn::Network>();
+    const int c = 12 + 4 * static_cast<int>(rng.below(3));  // 12/16/20
+    net->emplace<nn::Conv2D>("stem", 3, c, 3, 1, 1, rng);
+    net->emplace<nn::ReLU>("stem_relu");
+    net->emplace<nn::MaxPool2D>("pool", 2, 2);
+    int tail_c = c;
+    if (rng.bernoulli(0.5)) {
+        tail_c = 4;
+        net->emplace<nn::Conv2D>("mid", c, tail_c, 3, 1, 1, rng);
+        net->emplace<nn::ReLU>("mid_relu");
+    }
+    *classes_out = 2 + static_cast<int>(rng.below(3));
+    net->emplace<nn::Flatten>("flat");
+    const int hw = kHw / 2;
+    net->emplace<nn::Dense>("fc", tail_c * hw * hw, *classes_out, rng);
+    return net;
+}
+
 /** ADC quantization + device variation + read noise all on. */
 sim::RuntimeConfig
 noisyConfig(ThreadPool *pool)
@@ -134,13 +166,15 @@ noisyConfig(ThreadPool *pool)
 
 TEST(CrossRuntimeFuzz, GraphAndPipelineRuntimesAgreeBitwise)
 {
-    int residual_graphs = 0, static_graphs = 0;
-    for (int g = 0; g < kGraphs; ++g) {
+    int residual_graphs = 0, static_graphs = 0, replicated_graphs = 0;
+    for (int g = 0; g < kGraphs + kStemGraphs; ++g) {
         Rng rng(9000 + 13 * static_cast<uint64_t>(g));
         SCOPED_TRACE("fuzz graph " + std::to_string(g));
 
+        const bool stem_heavy = g >= kGraphs;
         int classes = 0;
-        auto net = makeRandomNet(rng, &classes);
+        auto net = stem_heavy ? makeStemHeavyNet(rng, &classes)
+                              : makeRandomNet(rng, &classes);
         auto graph = compile::lowerNetwork(*net);
         graph.inferShapes({3, kHw, kHw});
 
@@ -183,26 +217,39 @@ TEST(CrossRuntimeFuzz, GraphAndPipelineRuntimesAgreeBitwise)
         sim::RuntimeReport grep;
         const Tensor ref = gr.forward(batch, &grep);
 
-        const int chips = 1 + static_cast<int>(rng.below(4));
+        // Odd and stem-heavy graphs fuzz stage replication: at least
+        // 2 chips, an aggressive threshold and a random replica cap,
+        // so heavy nodes spread across 2-4 replica chips with
+        // presentation-sliced micro-batches.
+        const bool fuzz_replication = g % 2 == 1 || stem_heavy;
+        const int chips = fuzz_replication
+            ? 2 + static_cast<int>(rng.below(3))
+            : 1 + static_cast<int>(rng.below(4));
         const int micro_batch = 1 + static_cast<int>(rng.below(3));
         ThreadPool pipe_pool(1 + static_cast<int>(rng.below(8)));
         compile::ScheduleConfig scfg;
         scfg.chips = chips;
+        if (fuzz_replication) {
+            scfg.replicateThreshold =
+                0.1 + 0.2 * static_cast<double>(rng.below(3));
+            scfg.maxReplicas = 2 + static_cast<int>(rng.below(3));
+        }
+        auto sched = compile::Schedule::partition(graph, scfg);
+        const bool replicated = sched.replicated();
+        replicated_graphs += replicated;
         sim::PipelineRuntimeConfig pcfg;
         pcfg.runtime = rcfg;
         pcfg.runtime.pool = &pipe_pool;
         pcfg.microBatch = micro_batch;
-        sim::PipelineRuntime pr(graph,
-                                compile::Schedule::partition(graph,
-                                                             scfg),
-                                states, pcfg);
+        sim::PipelineRuntime pr(graph, std::move(sched), states, pcfg);
         sim::PipelineReport prep;
         const Tensor got = pr.forward(batch, &prep);
 
         EXPECT_TRUE(got.equals(ref))
             << "logits diverge: chips=" << chips
             << " microBatch=" << micro_batch
-            << " static=" << use_static << "\n" << graph.dump();
+            << " static=" << use_static
+            << " replicated=" << replicated << "\n" << graph.dump();
         ASSERT_EQ(prep.nodes.layers.size(), grep.layers.size());
         for (size_t i = 0; i < grep.layers.size(); ++i) {
             EXPECT_EQ(prep.nodes.layers[i].name, grep.layers[i].name);
@@ -214,6 +261,7 @@ TEST(CrossRuntimeFuzz, GraphAndPipelineRuntimesAgreeBitwise)
     // The generator must actually exercise the interesting paths.
     EXPECT_GE(residual_graphs, 5);
     EXPECT_GE(static_graphs, 6);
+    EXPECT_GE(replicated_graphs, 4);
 }
 
 } // namespace

@@ -159,6 +159,68 @@ TEST_F(PerfFixture, ReferencePointsPresent)
     EXPECT_EQ(refs[0].name, "DaDianNao");
 }
 
+TEST(TilePipelineModel, EmptyChipIsNeverBusy)
+{
+    TilePipeline tile;
+    EXPECT_EQ(chipBusyNs({}, tile), 0.0);
+    tile.overlap = false;
+    EXPECT_EQ(chipBusyNs({}, tile), 0.0);
+}
+
+TEST(TilePipelineModel, SerialModeSumsBothPhases)
+{
+    TilePipeline tile;
+    tile.overlap = false;
+    const std::vector<PhaseInterval> phases = {
+        {10.0, 100.0}, {20.0, 50.0}, {5.0, 200.0}};
+    EXPECT_DOUBLE_EQ(chipBusyNs(phases, tile), 385.0);
+}
+
+TEST(TilePipelineModel, OverlapHidesQuantBehindCompute)
+{
+    TilePipeline tile;
+    tile.overlap = true;
+    // q1 + max(c1, q2) + max(c2, q3) + c3:
+    // 10 + max(100, 20) + max(50, 5) + 200 = 360.
+    const std::vector<PhaseInterval> phases = {
+        {10.0, 100.0}, {20.0, 50.0}, {5.0, 200.0}};
+    EXPECT_DOUBLE_EQ(chipBusyNs(phases, tile), 360.0);
+
+    // Quantization dominating a link stalls the pipeline on it:
+    // 10 + max(100, 300) + max(50, 5) + 200 = 560.
+    const std::vector<PhaseInterval> stalled = {
+        {10.0, 100.0}, {300.0, 50.0}, {5.0, 200.0}};
+    EXPECT_DOUBLE_EQ(chipBusyNs(stalled, tile), 560.0);
+}
+
+TEST(TilePipelineModel, OverlapBoundedByComputeSumAndSerialSum)
+{
+    TilePipeline over, serial;
+    over.overlap = true;
+    serial.overlap = false;
+    const std::vector<PhaseInterval> phases = {
+        {7.0, 31.0}, {13.0, 11.0}, {29.0, 3.0}, {2.0, 17.0}};
+    const double o = chipBusyNs(phases, over);
+    const double s = chipBusyNs(phases, serial);
+    double compute = 0.0;
+    for (const auto &p : phases)
+        compute += p.computeNs;
+    EXPECT_LE(o, s);
+    EXPECT_GE(o, compute);
+
+    // A single node has nothing to overlap with: both modes agree.
+    const std::vector<PhaseInterval> one = {{7.0, 31.0}};
+    EXPECT_DOUBLE_EQ(chipBusyNs(one, over), chipBusyNs(one, serial));
+}
+
+TEST(TilePipelineModel, QuantNsScalesWithValueCount)
+{
+    TilePipeline tile;
+    tile.quantNsPerValue = 0.25;
+    EXPECT_DOUBLE_EQ(tile.quantNs(0), 0.0);
+    EXPECT_DOUBLE_EQ(tile.quantNs(1000), 250.0);
+}
+
 TEST_F(PerfFixture, TableVOrderingFormsFullOnTop)
 {
     // Table V shape: FORMS full > PQ-ISAAC > everything uncompressed.

@@ -2,14 +2,18 @@
  * @file
  * PipelineRuntime tests: the multi-chip pipelined executor must hold
  * the DESIGN.md §5 contract — logits and per-node EngineStats
- * bit-identical across thread counts (1/4/8), micro-batch sizes and
- * chip counts, and bit-identical to the single-graph GraphRuntime —
- * with ADC quantization, device variation and read noise all enabled.
+ * bit-identical across thread counts (1/4/8), micro-batch sizes,
+ * chip counts AND stage-replication factors, and bit-identical to
+ * the single-graph GraphRuntime — with ADC quantization, device
+ * variation and read noise all enabled. The intra-chip tile pipeline
+ * is a timing model only: toggling it must change makespans, never
+ * numbers.
  */
 
 #include <gtest/gtest.h>
 
 #include "compile/passes.hh"
+#include "nn/layers.hh"
 #include "nn/zoo.hh"
 #include "sim/graph_runtime.hh"
 #include "sim/pipeline_runtime.hh"
@@ -36,6 +40,35 @@ struct CompiledResNet
     }
 };
 
+/**
+ * Compile + compress a stem-dominated straight-line net: the stem
+ * conv carries ~3x the ideal per-chip work share, so the partitioner
+ * provably cannot balance it with contiguous cuts — the shape that
+ * makes the DP choose a replicated stage.
+ */
+struct CompiledStemHeavy
+{
+    std::unique_ptr<nn::Network> net;
+    compile::Graph graph;
+    std::vector<admm::LayerState> states;
+
+    explicit CompiledStemHeavy(uint64_t seed)
+    {
+        Rng rng(seed);
+        net = std::make_unique<nn::Network>();
+        net->emplace<nn::Conv2D>("stem", 3, 16, 3, 1, 1, rng);
+        net->emplace<nn::ReLU>("stem_relu");
+        net->emplace<nn::MaxPool2D>("pool", 2, 2);
+        net->emplace<nn::Conv2D>("mid", 16, 4, 3, 1, 1, rng);
+        net->emplace<nn::ReLU>("mid_relu");
+        net->emplace<nn::Flatten>("flat");
+        net->emplace<nn::Dense>("fc", 4 * 16 * 16, 4, rng);
+        graph = compile::lowerNetwork(*net);
+        graph.inferShapes({3, 32, 32});
+        states = sim::snapshotCompress(*net, 8, 8);
+    }
+};
+
 /** ADC quantization + device variation + read noise all on. */
 sim::PipelineRuntimeConfig
 noisyConfig(ThreadPool *pool, int micro_batch)
@@ -54,10 +87,13 @@ noisyConfig(ThreadPool *pool, int micro_batch)
 }
 
 compile::Schedule
-partitionFor(const compile::Graph &g, int chips)
+partitionFor(const compile::Graph &g, int chips,
+             double replicate_threshold = 0.0, int max_replicas = 4)
 {
     compile::ScheduleConfig scfg;
     scfg.chips = chips;
+    scfg.replicateThreshold = replicate_threshold;
+    scfg.maxReplicas = max_replicas;
     return compile::Schedule::partition(g, scfg);
 }
 
@@ -105,20 +141,21 @@ TEST(PipelineRuntime, BitIdenticalAcrossThreadsMicroBatchesAndChips)
     Tensor batch({4, 3, 32, 32});
     batch.fillUniform(rng, 0.0f, 1.0f);
 
-    // Reference: 2 chips, micro-batch 2, single thread.
+    // Reference: 2 chips, micro-batch 2, single thread, no replication.
     Tensor ref_logits;
     std::vector<arch::EngineStats> ref_stats;
     auto run = [&](int threads, int chips, int micro_batch,
-                   sim::PipelineReport *rep) {
+                   double threshold, sim::PipelineReport *rep) {
         ThreadPool pool(threads);
-        sim::PipelineRuntime rt(c.graph, partitionFor(c.graph, chips),
+        sim::PipelineRuntime rt(c.graph,
+                                partitionFor(c.graph, chips, threshold),
                                 c.states,
                                 noisyConfig(&pool, micro_batch));
         return rt.forward(batch, rep);
     };
     {
         sim::PipelineReport rep;
-        ref_logits = run(1, 2, 2, &rep);
+        ref_logits = run(1, 2, 2, 0.0, &rep);
         for (const auto &l : rep.nodes.layers)
             ref_stats.push_back(l.stats);
         ASSERT_EQ(ref_stats.size(), 10u);
@@ -127,22 +164,120 @@ TEST(PipelineRuntime, BitIdenticalAcrossThreadsMicroBatchesAndChips)
     struct Case
     {
         int threads, chips, microBatch;
+        double threshold;   //!< > 0 enables stage replication
     };
     const Case cases[] = {
-        {4, 2, 2}, {8, 2, 2},            // thread counts
-        {4, 2, 1}, {4, 2, 4}, {4, 2, 3}, // micro-batch sizes (3: ragged)
-        {4, 1, 2}, {4, 4, 2},            // chip counts
+        {4, 2, 2, 0.0}, {8, 2, 2, 0.0},   // thread counts
+        {4, 2, 1, 0.0}, {4, 2, 4, 0.0},
+        {4, 2, 3, 0.0},                   // micro-batch sizes (3: ragged)
+        {4, 1, 2, 0.0}, {4, 4, 2, 0.0},   // chip counts
+        {4, 4, 2, 0.6}, {4, 4, 3, 0.6},   // replicated stages
+        {1, 3, 2, 0.8}, {8, 4, 1, 0.4},   // replication x threads/mb
     };
     for (const Case &k : cases) {
         sim::PipelineReport rep;
-        const Tensor logits = run(k.threads, k.chips, k.microBatch, &rep);
+        const Tensor logits =
+            run(k.threads, k.chips, k.microBatch, k.threshold, &rep);
         EXPECT_TRUE(logits.equals(ref_logits))
             << "logits diverge at threads=" << k.threads
-            << " chips=" << k.chips << " microBatch=" << k.microBatch;
+            << " chips=" << k.chips << " microBatch=" << k.microBatch
+            << " threshold=" << k.threshold;
         ASSERT_EQ(rep.nodes.layers.size(), ref_stats.size());
         for (size_t i = 0; i < ref_stats.size(); ++i)
             expectStatsIdentical(rep.nodes.layers[i].stats,
                                  ref_stats[i]);
+    }
+}
+
+TEST(PipelineRuntime, ReplicatedStagesStayBitIdenticalToGraphRuntime)
+{
+    CompiledStemHeavy c(161);
+    Rng rng(162);
+    Tensor batch({5, 3, 32, 32});
+    batch.fillUniform(rng, 0.0f, 1.0f);
+
+    ThreadPool pool(4);
+    sim::GraphRuntime gr(c.graph, c.states, noisyConfig(&pool, 1).runtime);
+    sim::RuntimeReport grep;
+    const Tensor ref = gr.forward(batch, &grep);
+
+    // The stem dwarfs the ideal share, so the DP replicates it.
+    auto sched = partitionFor(c.graph, 4, 1.0, 3);
+    ASSERT_TRUE(sched.replicated());
+    sim::PipelineRuntime pr(c.graph, std::move(sched), c.states,
+                            noisyConfig(&pool, 2));
+    sim::PipelineReport prep;
+    const Tensor got = pr.forward(batch, &prep);
+
+    EXPECT_TRUE(got.equals(ref));
+    ASSERT_EQ(prep.nodes.layers.size(), grep.layers.size());
+    for (size_t i = 0; i < grep.layers.size(); ++i) {
+        EXPECT_EQ(prep.nodes.layers[i].name, grep.layers[i].name);
+        expectStatsIdentical(prep.nodes.layers[i].stats,
+                             grep.layers[i].stats);
+    }
+
+    // The report reflects the replicated shape: fewer stages than
+    // chips, and every chip of a wide stage shows the same stage id.
+    EXPECT_LT(prep.stages, pr.chips());
+    ASSERT_EQ(prep.chips.size(), static_cast<size_t>(pr.chips()));
+    bool wide_seen = false;
+    for (const auto &ch : prep.chips) {
+        EXPECT_GE(ch.replicas, 1);
+        if (ch.replicas > 1)
+            wide_seen = true;
+    }
+    EXPECT_TRUE(wide_seen);
+
+    // Replica engines advance through reset exactly like one engine:
+    // a reset replays the noisy run bit for bit.
+    const Tensor drifted = pr.forward(batch);
+    EXPECT_FALSE(drifted.equals(ref));
+    pr.resetPresentationStreams();
+    EXPECT_TRUE(pr.forward(batch).equals(ref));
+}
+
+TEST(PipelineRuntime, TilePipelineIsTimingOnlyAndShortensMakespan)
+{
+    CompiledResNet c(171);
+    Rng rng(172);
+    Tensor batch({4, 3, 32, 32});
+    batch.fillUniform(rng, 0.0f, 1.0f);
+
+    ThreadPool pool(4);
+    auto run = [&](bool overlap, sim::PipelineReport *rep) {
+        sim::PipelineRuntimeConfig cfg = noisyConfig(&pool, 2);
+        cfg.tile.overlap = overlap;
+        sim::PipelineRuntime rt(c.graph, partitionFor(c.graph, 2),
+                                c.states, cfg);
+        return rt.forward(batch, rep);
+    };
+
+    sim::PipelineReport serial, overlapped;
+    const Tensor a = run(false, &serial);
+    const Tensor b = run(true, &overlapped);
+
+    // Timing model only: identical numbers either way.
+    EXPECT_TRUE(a.equals(b));
+
+    // Overlap hides quantization behind ADC phases: saved time is
+    // positive, the makespan shrinks, and per-chip busy intervals sit
+    // between the pure ADC time and the serialized phase sum.
+    EXPECT_EQ(serial.overlapSavedNs, 0.0);
+    EXPECT_GT(overlapped.overlapSavedNs, 0.0);
+    EXPECT_LT(overlapped.makespanNs, serial.makespanNs);
+    ASSERT_EQ(serial.chips.size(), overlapped.chips.size());
+    for (size_t i = 0; i < overlapped.chips.size(); ++i) {
+        const auto &ch = overlapped.chips[i];
+        EXPECT_GT(ch.quantNs, 0.0);
+        const double tol = 1e-9 * (ch.computeNs + ch.quantNs);
+        EXPECT_GE(ch.busyNs, ch.computeNs - tol);
+        EXPECT_LE(ch.busyNs, ch.computeNs + ch.quantNs + tol);
+        // Serial phases sum exactly (up to accumulation-order jitter).
+        const double serial_sum =
+            serial.chips[i].computeNs + serial.chips[i].quantNs;
+        EXPECT_NEAR(serial.chips[i].busyNs, serial_sum,
+                    1e-9 * serial_sum);
     }
 }
 
@@ -169,11 +304,14 @@ TEST(PipelineRuntime, ReportModelsAPipelineWithTransfers)
     EXPECT_LT(rep.bubbleFraction, 1.0);
 
     ASSERT_EQ(rep.chips.size(), 2u);
+    EXPECT_EQ(rep.stages, 2);
     int64_t crossbars = 0;
     size_t programmed = 0;
     for (const auto &ch : rep.chips) {
         EXPECT_GT(ch.nodes, 0u);
         EXPECT_GT(ch.computeNs, 0.0);
+        EXPECT_GT(ch.quantNs, 0.0);
+        EXPECT_GE(ch.busyNs, ch.computeNs);
         EXPECT_GT(ch.utilization, 0.0);
         EXPECT_LE(ch.utilization, 1.0);
         crossbars += ch.crossbars;
@@ -189,8 +327,8 @@ TEST(PipelineRuntime, ReportModelsAPipelineWithTransfers)
     // must beat running the chips back to back.
     double max_busy = 0.0, total_busy = 0.0;
     for (const auto &ch : rep.chips) {
-        max_busy = std::max(max_busy, ch.computeNs);
-        total_busy += ch.computeNs;
+        max_busy = std::max(max_busy, ch.busyNs);
+        total_busy += ch.busyNs;
     }
     EXPECT_GE(rep.makespanNs, max_busy);
     EXPECT_LT(rep.makespanNs, total_busy + rep.transferNs);

@@ -3,13 +3,16 @@
  * Schedule partitioner tests: determinism (same graph + same config
  * => identical partition), contiguity in topological order, exact
  * balance behaviour on uniform chains, capacity awareness, transfer
- * materialization and chip-count clamping.
+ * materialization, chip-count clamping, and replicated stages (a
+ * bottleneck matrix node spread across several chips, with merge
+ * Transfer records and balanced per-chip work).
  */
 
 #include <gtest/gtest.h>
 
 #include "compile/passes.hh"
 #include "compile/schedule.hh"
+#include "nn/layers.hh"
 #include "nn/zoo.hh"
 
 namespace forms {
@@ -46,6 +49,31 @@ struct ResNetGraph
     }
 };
 
+/**
+ * Stem-heavy graph: one big conv followed by cheap functional work —
+ * the shape that motivates replication (no contiguous cut can
+ * balance it).
+ */
+struct StemHeavyNet
+{
+    std::unique_ptr<nn::Network> net;
+    compile::Graph graph;
+
+    explicit StemHeavyNet(uint64_t seed)
+    {
+        Rng rng(seed);
+        net = std::make_unique<nn::Network>();
+        net->emplace<nn::Conv2D>("stem", 3, 16, 3, 1, 1, rng);
+        net->emplace<nn::ReLU>("relu0");
+        net->emplace<nn::MaxPool2D>("pool", 2, 2);
+        net->emplace<nn::ReLU>("relu1");
+        net->emplace<nn::Flatten>("flat");
+        net->emplace<nn::Dense>("fc", 16 * 16 * 16, 4, rng);
+        graph = compile::lowerNetwork(*net);
+        graph.inferShapes({3, 32, 32});
+    }
+};
+
 TEST(Schedule, PartitionIsDeterministic)
 {
     ResNetGraph r(31);
@@ -55,12 +83,16 @@ TEST(Schedule, PartitionIsDeterministic)
     const auto b = compile::Schedule::partition(r.graph, cfg);
 
     ASSERT_EQ(a.chips(), b.chips());
-    for (int id = 0; id < r.graph.capacity(); ++id)
+    ASSERT_EQ(a.stages(), b.stages());
+    for (int id = 0; id < r.graph.capacity(); ++id) {
         EXPECT_EQ(a.chipOf(id), b.chipOf(id)) << "node " << id;
+        EXPECT_EQ(a.stageOf(id), b.stageOf(id)) << "node " << id;
+    }
     ASSERT_EQ(a.transfers().size(), b.transfers().size());
     for (size_t i = 0; i < a.transfers().size(); ++i) {
         EXPECT_EQ(a.transfers()[i].producer, b.transfers()[i].producer);
-        EXPECT_EQ(a.transfers()[i].fromChip, b.transfers()[i].fromChip);
+        EXPECT_EQ(a.transfers()[i].fromStage,
+                  b.transfers()[i].fromStage);
         EXPECT_EQ(a.transfers()[i].bytesPerSample,
                   b.transfers()[i].bytesPerSample);
     }
@@ -75,12 +107,15 @@ TEST(Schedule, AssignsEveryLiveNodeContiguouslyInTopoOrder)
     const auto s = compile::Schedule::partition(r.graph, cfg);
 
     ASSERT_EQ(s.chips(), 4);
+    ASSERT_EQ(s.stages(), 4);   // nothing replicates by default
+    EXPECT_FALSE(s.replicated());
     int prev_chip = 0;
     size_t assigned = 0;
     for (int id : r.graph.topoOrder()) {
         const int c = s.chipOf(id);
         ASSERT_GE(c, prev_chip) << "chip ids must be non-decreasing "
                                    "along the topological order";
+        EXPECT_EQ(s.replicasOf(id), 1);
         prev_chip = c;
         ++assigned;
     }
@@ -132,10 +167,11 @@ TEST(Schedule, TransfersAreNeighborHopsWithTensorBytes)
     // carrying one 3x8x8 float tensor per sample.
     ASSERT_EQ(s.transfers().size(), 2u);
     for (const auto &t : s.transfers()) {
-        EXPECT_EQ(t.toChip, t.fromChip + 1);
+        EXPECT_EQ(t.toStage, t.fromStage + 1);
         EXPECT_EQ(t.bytesPerSample,
                   static_cast<int64_t>(3 * 8 * 8 * sizeof(float)));
-        EXPECT_EQ(s.chipOf(t.producer), t.fromChip);
+        EXPECT_EQ(s.stageOf(t.producer), t.fromStage);
+        EXPECT_FALSE(t.mergeReplicas);
     }
     EXPECT_EQ(s.cutBytesPerSample(),
               static_cast<int64_t>(2 * 3 * 8 * 8 * sizeof(float)));
@@ -149,11 +185,11 @@ TEST(Schedule, ResidualGraphTransfersFollowTheSchedule)
     const auto s = compile::Schedule::partition(r.graph, cfg);
     EXPECT_FALSE(s.transfers().empty());
     for (const auto &t : s.transfers()) {
-        EXPECT_EQ(t.toChip, t.fromChip + 1);
+        EXPECT_EQ(t.toStage, t.fromStage + 1);
         EXPECT_GT(t.bytesPerSample, 0);
-        // The producer lives at or before the sending chip
+        // The producer lives at or before the sending stage
         // (store-and-forward re-sends values that hop further).
-        EXPECT_LE(s.chipOf(t.producer), t.fromChip);
+        EXPECT_LE(s.stageOf(t.producer), t.fromStage);
         EXPECT_TRUE(r.graph.alive(t.producer));
     }
     EXPECT_GT(s.cutBytesPerSample(), 0);
@@ -177,9 +213,160 @@ TEST(Schedule, SingleChipHasNoTransfers)
     cfg.chips = 1;
     const auto s = compile::Schedule::partition(r.graph, cfg);
     EXPECT_EQ(s.chips(), 1);
+    EXPECT_EQ(s.stages(), 1);
     EXPECT_TRUE(s.transfers().empty());
     EXPECT_EQ(s.cutBytesPerSample(), 0);
     EXPECT_EQ(s.chipNodes()[0].size(), r.graph.size());
+}
+
+TEST(Schedule, ReplicationDisabledReproducesContiguousPartition)
+{
+    StemHeavyNet n(41);
+    compile::ScheduleConfig off;
+    off.chips = 3;
+    const auto a = compile::Schedule::partition(n.graph, off);
+    EXPECT_EQ(a.stages(), a.chips());
+    EXPECT_FALSE(a.replicated());
+
+    // Threshold set but maxReplicas < 2: still contiguous.
+    compile::ScheduleConfig capped = off;
+    capped.replicateThreshold = 1.0;
+    capped.maxReplicas = 1;
+    const auto b = compile::Schedule::partition(n.graph, capped);
+    EXPECT_FALSE(b.replicated());
+    for (int id = 0; id < n.graph.capacity(); ++id)
+        EXPECT_EQ(a.chipOf(id), b.chipOf(id));
+}
+
+TEST(Schedule, HeavyStemReplicatesAcrossChips)
+{
+    StemHeavyNet n(42);
+    compile::ScheduleConfig cfg;
+    cfg.chips = 3;
+    cfg.replicateThreshold = 1.0;
+    const auto s = compile::Schedule::partition(n.graph, cfg);
+
+    ASSERT_TRUE(s.replicated());
+    EXPECT_LT(s.stages(), s.chips());
+
+    // The stem conv (the only node that can dwarf the ideal share)
+    // forms a multi-chip stage of its own.
+    int stem = -1;
+    for (int id = 0; id < n.graph.capacity(); ++id)
+        if (n.graph.alive(id) &&
+            n.graph.node(id).op == compile::Op::Conv)
+            stem = id;
+    ASSERT_GE(stem, 0);
+    EXPECT_GT(s.replicasOf(stem), 1);
+    const int stage = s.stageOf(stem);
+    EXPECT_EQ(s.stageWidth(stage), s.replicasOf(stem));
+    // The replicated stage is anchored on exactly one matrix node.
+    int matrix_in_stage = 0;
+    for (int id : s.stageNodes()[static_cast<size_t>(stage)])
+        matrix_in_stage += n.graph.node(id).op == compile::Op::Conv ||
+                           n.graph.node(id).op == compile::Op::Dense;
+    EXPECT_EQ(matrix_in_stage, 1);
+
+    // Every replica chip lists (and will program) the node.
+    const int first = s.stageFirstChip(stage);
+    for (int c = first; c < first + s.stageWidth(stage); ++c) {
+        const auto &nodes = s.chipNodes()[static_cast<size_t>(c)];
+        EXPECT_NE(std::find(nodes.begin(), nodes.end(), stem),
+                  nodes.end());
+    }
+
+    // The hop leaving the replicated stage is the merge record.
+    bool merge_seen = false;
+    for (const auto &t : s.transfers()) {
+        if (t.producer == stem && t.fromStage == stage) {
+            EXPECT_TRUE(t.mergeReplicas);
+            merge_seen = true;
+        } else {
+            EXPECT_FALSE(t.mergeReplicas);
+        }
+    }
+    EXPECT_TRUE(merge_seen);
+    EXPECT_NE(s.dump().find("merge"), std::string::npos);
+}
+
+TEST(Schedule, ReplicationLowersTheBottleneckChipWork)
+{
+    StemHeavyNet n(43);
+    compile::ScheduleConfig base;
+    base.chips = 3;
+    const auto contiguous = compile::Schedule::partition(n.graph, base);
+    compile::ScheduleConfig rep = base;
+    rep.replicateThreshold = 1.0;
+    const auto replicated = compile::Schedule::partition(n.graph, rep);
+    ASSERT_TRUE(replicated.replicated());
+
+    auto max_chip_work = [](const compile::Schedule &s) {
+        double w = 0.0;
+        for (int c = 0; c < s.chips(); ++c)
+            w = std::max(w, s.chipWork(c));
+        return w;
+    };
+    EXPECT_LT(max_chip_work(replicated), max_chip_work(contiguous));
+
+    // The stage's work splits evenly across its chips (uniform
+    // capacity): per-chip work sums back to the stage work.
+    for (int st = 0; st < replicated.stages(); ++st) {
+        double sum = 0.0;
+        const int first = replicated.stageFirstChip(st);
+        for (int c = first; c < first + replicated.stageWidth(st); ++c)
+            sum += replicated.chipWork(c);
+        EXPECT_NEAR(sum, replicated.stageWork(st),
+                    1e-9 * replicated.stageWork(st));
+    }
+}
+
+TEST(Schedule, ReplicationUsesChipsBeyondTheLiveNodeCount)
+{
+    // 7 live nodes. Without replication the chip count clamps to 7;
+    // an eligible anchor can absorb up to maxReplicas - 1 extra
+    // chips, so 9 requested chips are all usable.
+    StemHeavyNet n(45);
+    compile::ScheduleConfig cfg;
+    cfg.chips = 9;
+    cfg.replicateThreshold = 1.0;
+    cfg.maxReplicas = 4;
+    const auto s = compile::Schedule::partition(n.graph, cfg);
+    EXPECT_EQ(s.chips(), 9);
+    ASSERT_TRUE(s.replicated());
+
+    int stem = -1;
+    for (int id = 0; id < n.graph.capacity(); ++id)
+        if (n.graph.alive(id) &&
+            n.graph.node(id).op == compile::Op::Conv)
+            stem = id;
+    ASSERT_GE(stem, 0);
+    EXPECT_GE(s.replicasOf(stem), 3);
+
+    // Replication off: the old clamp-to-live-nodes invariant holds.
+    compile::ScheduleConfig off;
+    off.chips = 9;
+    const auto c = compile::Schedule::partition(n.graph, off);
+    EXPECT_EQ(c.chips(), static_cast<int>(n.graph.size()));
+}
+
+TEST(Schedule, ReplicatedPartitionIsDeterministic)
+{
+    ResNetGraph r(44);
+    compile::ScheduleConfig cfg;
+    cfg.chips = 4;
+    cfg.replicateThreshold = 0.8;
+    cfg.maxReplicas = 3;
+    const auto a = compile::Schedule::partition(r.graph, cfg);
+    const auto b = compile::Schedule::partition(r.graph, cfg);
+    ASSERT_EQ(a.stages(), b.stages());
+    for (int id = 0; id < r.graph.capacity(); ++id) {
+        EXPECT_EQ(a.stageOf(id), b.stageOf(id));
+        EXPECT_EQ(a.replicasOf(id), b.replicasOf(id));
+    }
+    ASSERT_EQ(a.transfers().size(), b.transfers().size());
+    for (size_t i = 0; i < a.transfers().size(); ++i)
+        EXPECT_EQ(a.transfers()[i].mergeReplicas,
+                  b.transfers()[i].mergeReplicas);
 }
 
 } // namespace
