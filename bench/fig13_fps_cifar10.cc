@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "common/logging.hh"
+#include "common/simd.hh"
 #include "common/table.hh"
 #include "nn/layers.hh"
 #include "sim/perf_model.hh"
@@ -141,6 +142,7 @@ runtimeBench()
 int
 main()
 {
+    simd::printBenchBanner("bench_fig13_fps_cifar10");
     std::printf("Figure 13: FPS speedup on CIFAR-10, normalized to "
                 "ISAAC-32\n");
 

@@ -28,6 +28,7 @@
 #include <cstdio>
 
 #include "common/logging.hh"
+#include "common/simd.hh"
 #include "common/table.hh"
 #include "compile/passes.hh"
 #include "compile/schedule.hh"
@@ -310,6 +311,7 @@ writePipelineJson(const std::vector<NetResult> &results)
 int
 main()
 {
+    simd::printBenchBanner("bench_fig15_multichip");
     std::printf("Multi-chip pipelined graph scheduler: ResNet zoo + "
                 "early-layer-bound convnet across %d / %d / %d / %d "
                 "chips,\nmodes: contiguous (PR 3) | tile_pipelined | "

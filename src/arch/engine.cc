@@ -1,5 +1,6 @@
 #include "arch/engine.hh"
 
+#include <algorithm>
 #include <cmath>
 
 namespace forms::arch {
@@ -27,6 +28,16 @@ CrossbarEngine::CrossbarEngine(const MappedLayer &layer, EngineConfig cfg)
             cfg.adcFreqGhz}),
       rng_(cfg.variationSeed)
 {
+    // The mapper sliced magnitudes at the mapping's cell precision;
+    // programming them into a device model with a different precision
+    // would fail cell-by-cell deep in the program loop.
+    FORMS_ASSERT(cfg_.cell.bitsPerCell == layer.cfg.cellBits,
+                 "engine: device model stores %d bits/cell but the "
+                 "mapping sliced weights at %d bits/cell — set "
+                 "EngineConfig::cell.bitsPerCell to match the "
+                 "MappingConfig",
+                 cfg_.cell.bitsPerCell, layer.cfg.cellBits);
+
     // ADC full scale covers the worst-case fragment column sum; when
     // the resolution affords more codes than that (the lossless
     // setting), stretch the scale to the code count so the step is
@@ -68,6 +79,42 @@ CrossbarEngine::CrossbarEngine(const MappedLayer &layer, EngineConfig cfg)
             static_cast<double>(cfg_.adcsPerCrossbar)) * sample_ns;
         worstStepNs_ = std::max(worstStepNs_, per_step);
     }
+
+    // Re-lay the realized conductances into contiguous tiles and
+    // precompute the per-fragment read energy and the exact powers of
+    // two the bit loop needs: the hot path then touches only dense
+    // arrays and a dispatch table.
+    kern_ = &simd::kernels(cfg_.simdMode);
+    tiles_.reserve(arrays_.size());
+    for (size_t xi = 0; xi < arrays_.size(); ++xi) {
+        const auto &xb = layer_.crossbars[xi];
+        const auto &arr = arrays_[xi];
+        XbarTile tile;
+        tile.cellCols = xb.weightCols * cells;
+        tile.lvl.resize(static_cast<size_t>(xb.rows) *
+                        static_cast<size_t>(tile.cellCols));
+        for (int r = 0; r < xb.rows; ++r)
+            for (int cc = 0; cc < tile.cellCols; ++cc)
+                tile.lvl[static_cast<size_t>(r) *
+                             static_cast<size_t>(tile.cellCols) +
+                         static_cast<size_t>(cc)] =
+                    arr.cellAnalogLevel(r, cc);
+        tile.fragReadEpj.resize(static_cast<size_t>(xb.fragsUsed));
+        for (int f = 0; f < xb.fragsUsed; ++f) {
+            const int rows_here =
+                std::min(layer_.cfg.fragSize, xb.rows - f * layer_.cfg.fragSize);
+            tile.fragReadEpj[static_cast<size_t>(f)] =
+                arr.readEnergyPj(rows_here, sample_ns);
+        }
+        tiles_.push_back(std::move(tile));
+    }
+    bitWeight_.resize(static_cast<size_t>(layer_.cfg.inputBits));
+    for (int p = 0; p < layer_.cfg.inputBits; ++p)
+        bitWeight_[static_cast<size_t>(p)] = std::pow(2.0, p);
+    cellWeight_.resize(static_cast<size_t>(cells));
+    for (int s = 0; s < cells; ++s)
+        cellWeight_[static_cast<size_t>(s)] =
+            std::pow(2.0, s * layer_.cfg.cellBits);
 }
 
 uint64_t
@@ -91,21 +138,39 @@ CrossbarEngine::mvmOne(const std::vector<uint32_t> &inputs,
     const int m = layer_.cfg.fragSize;
     const int cells = layer_.cfg.cellsPerWeight();
     const int in_bits = layer_.cfg.inputBits;
-    const double sample_ns = adc_.sampleTimeNs();
     const double adc_epj = adc_.energyPerSamplePj();
     const bool noisy_reads = cfg_.readNoiseSigma > 0.0;
+    // The same step AdcModel::quantize/reconstruct derive per call;
+    // hoisting the division out of the column loop is bitwise neutral.
+    const int adc_top = adc_.config().codes() - 1;
+    const double adc_step = fullScale_ / static_cast<double>(adc_top);
     Rng pres_rng(presentationSeed(cfg_.variationSeed, pres_index));
+    const simd::Kernels &k = *kern_;
+
+    // Per-thread scratch: mvmOne runs concurrently on pool workers and
+    // a presentation must not pay heap allocations in the hot loop.
+    static thread_local std::vector<double> acc_bit;
+    static thread_local std::vector<double> acc;
+    static thread_local std::vector<uint32_t> in_vals;
 
     EngineStats local;
     local.presentations = 1;
 
     for (size_t xi = 0; xi < layer_.crossbars.size(); ++xi) {
         const auto &xb = layer_.crossbars[xi];
-        const auto &arr = arrays_[xi];
-        const int cell_cols = xb.weightCols * cells;
+        const XbarTile &tile = tiles_[xi];
+        const int cell_cols = tile.cellCols;
 
-        std::vector<uint8_t> row_bits(static_cast<size_t>(xb.rows), 0);
-        std::vector<double> acc(static_cast<size_t>(cell_cols), 0.0);
+        // Gather this crossbar's activations once; the bit loop then
+        // consumes them from registers instead of re-materializing a
+        // row_bits vector per presented bit.
+        in_vals.resize(static_cast<size_t>(xb.rows));
+        for (int r = 0; r < xb.rows; ++r)
+            in_vals[static_cast<size_t>(r)] = inputs[static_cast<size_t>(
+                xb.inputIndex[static_cast<size_t>(r)])];
+
+        acc.resize(static_cast<size_t>(cell_cols));
+        acc_bit.resize(static_cast<size_t>(cell_cols));
 
         for (int f = 0; f < xb.fragsUsed; ++f) {
             const int r0 = f * m;
@@ -115,41 +180,54 @@ CrossbarEngine::mvmOne(const std::vector<uint32_t> &inputs,
             // registers and feeds only the effective bits.
             uint32_t merged = 0;
             for (int r = r0; r < r0 + rows_here; ++r)
-                merged |= inputs[static_cast<size_t>(
-                    xb.inputIndex[static_cast<size_t>(r)])];
+                merged |= in_vals[static_cast<size_t>(r)];
             const int eic = cfg_.zeroSkip
                 ? effectiveBits(merged) : in_bits;
             local.skippedCycles +=
                 static_cast<uint64_t>(in_bits - eic);
 
+            const double *frag_lvl = tile.lvl.data() +
+                static_cast<size_t>(r0) * static_cast<size_t>(cell_cols);
             std::fill(acc.begin(), acc.end(), 0.0);
             for (int p = eic - 1; p >= 0; --p) {
-                for (int r = r0; r < r0 + rows_here; ++r) {
-                    const uint32_t v = inputs[static_cast<size_t>(
-                        xb.inputIndex[static_cast<size_t>(r)])];
-                    row_bits[static_cast<size_t>(r)] =
-                        static_cast<uint8_t>((v >> p) & 1u);
-                }
                 ++local.bitCycles;
                 local.crossbarEnergyPj +=
-                    arr.readEnergyPj(rows_here, sample_ns);
+                    tile.fragReadEpj[static_cast<size_t>(f)];
+
+                // Stride-1 row sweep: add each active row's level
+                // panel into acc_bit. Per column this reproduces
+                // columnSum's ascending-row additions exactly, for any
+                // vector width (elementwise rule, DESIGN.md §6), while
+                // skipping inactive rows like the bit-serial hardware.
+                std::fill(acc_bit.begin(), acc_bit.end(), 0.0);
+                for (int r = 0; r < rows_here; ++r) {
+                    if ((in_vals[static_cast<size_t>(r0 + r)] >> p) & 1u)
+                        k.addF64(acc_bit.data(),
+                                 frag_lvl + static_cast<size_t>(r) *
+                                     static_cast<size_t>(cell_cols),
+                                 cell_cols);
+                }
+
+                // Fused noise -> ADC -> shift-accumulate per column,
+                // preserving the reference operation order: lognormal
+                // draws in ascending column order, clamp(lround(x /
+                // step)) * step, then one multiply by the exact power
+                // of two for this bit.
                 for (int cc = 0; cc < cell_cols; ++cc) {
-                    double analog =
-                        arr.columnSum(cc, row_bits, r0, rows_here);
+                    double analog = acc_bit[static_cast<size_t>(cc)];
                     if (noisy_reads) {
                         analog *=
                             pres_rng.lognormal(0.0, cfg_.readNoiseSigma);
                     }
-                    const int count = adc_.quantize(analog, fullScale_);
-                    const double est = adc_.reconstruct(count, fullScale_);
+                    const int count = std::clamp(
+                        static_cast<int>(std::lround(analog / adc_step)),
+                        0, adc_top);
                     acc[static_cast<size_t>(cc)] +=
-                        est * std::pow(2.0, p);
+                        static_cast<double>(count) * adc_step *
+                        bitWeight_[static_cast<size_t>(p)];
                     ++local.adcSamples;
                     local.adcEnergyPj += adc_epj;
                 }
-                // All fragment rows' bits retire; clear for next group.
-                for (int r = r0; r < r0 + rows_here; ++r)
-                    row_bits[static_cast<size_t>(r)] = 0;
             }
 
             // Digital shift-and-add across cell significance plus the
@@ -158,7 +236,7 @@ CrossbarEngine::mvmOne(const std::vector<uint32_t> &inputs,
                 double weight_sum = 0.0;
                 for (int s = 0; s < cells; ++s) {
                     weight_sum += acc[static_cast<size_t>(wc * cells + s)] *
-                        std::pow(2.0, s * layer_.cfg.cellBits);
+                        cellWeight_[static_cast<size_t>(s)];
                 }
                 out[static_cast<size_t>(
                     xb.outputIndex[static_cast<size_t>(wc)])] +=

@@ -18,6 +18,7 @@
 
 #include "arch/mapping.hh"
 #include "arch/zero_skip.hh"
+#include "common/simd.hh"
 #include "common/threadpool.hh"
 #include "reram/adc.hh"
 #include "reram/crossbar.hh"
@@ -62,6 +63,15 @@ struct EngineConfig
      * bit-identical to serial regardless of thread count.
      */
     double readNoiseSigma = 0.0;
+
+    /**
+     * Kernel dispatch for this engine's hot loop, resolved once at
+     * construction (per-engine, so runtimes built from RuntimeConfig
+     * can pin a mode without mutating process-wide state from pool
+     * workers). Every mode is bit-identical by the common/simd.hh
+     * contract; Auto follows FORMS_SIMD / cpuid detection.
+     */
+    simd::Mode simdMode = simd::Mode::Auto;
 };
 
 /** Execution statistics of one engine run. */
@@ -184,6 +194,9 @@ class CrossbarEngine
     /** Effective ADC resolution in use (lossless when cfg was 0). */
     int adcBitsInUse() const { return adc_.config().bits; }
 
+    /** Name of the kernel variant this engine resolved to. */
+    const char *kernelName() const { return kern_->name; }
+
     const MappedLayer &layer() const { return layer_; }
 
   private:
@@ -195,11 +208,29 @@ class CrossbarEngine
     void mvmOne(const std::vector<uint32_t> &inputs, uint64_t pres_index,
                 std::vector<double> &out, EngineStats &stats) const;
 
+    /**
+     * One crossbar's realized conductances re-laid as a contiguous
+     * tile: row r's cell columns at lvl[r * cellCols + cc], so the
+     * per-bit MVM is a stride-1 sweep over active rows' panels.
+     * Snapshotted from the programmed arrays at construction (device
+     * variation is drawn at program time, so the values are frozen).
+     */
+    struct XbarTile
+    {
+        std::vector<double> lvl;          //!< rows x cellCols, row-panel
+        std::vector<double> fragReadEpj;  //!< read energy per fragment bit
+        int cellCols = 0;
+    };
+
     const MappedLayer &layer_;
     EngineConfig cfg_;
     reram::AdcModel adc_;
     double fullScale_;             //!< ADC full-scale in level units
     std::vector<reram::CrossbarArray> arrays_;
+    std::vector<XbarTile> tiles_;
+    std::vector<double> bitWeight_;   //!< 2^p per input bit position
+    std::vector<double> cellWeight_;  //!< 2^(s*cellBits) per cell slice
+    const simd::Kernels *kern_ = nullptr;
     Rng rng_;                      //!< program-time variation source
     int outputExtent_ = 0;         //!< 1 + max natural output index
     double worstStepNs_ = 0.0;     //!< slowest crossbar's per-step time

@@ -64,6 +64,23 @@ panic(const char *fmt, ...)
 }
 
 void
+panicAt(const char *expr, const char *file, int line, const char *fmt,
+        ...)
+{
+    // Format the caller's message first, with its own arguments: the
+    // old approach of concatenating the caller's format string onto a
+    // prefix put the prefix arguments and the message arguments in the
+    // wrong vararg order, so any assertion *with* format arguments
+    // crashed inside vsnprintf instead of printing.
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrfmt(fmt, ap);
+    va_end(ap);
+    panic("assertion '%s' failed at %s:%d — %s", expr, file, line,
+          msg.c_str());
+}
+
+void
 warn(const char *fmt, ...)
 {
     va_list ap;

@@ -34,6 +34,10 @@ void inform(const char *fmt, ...);
 /** printf-style formatting into a std::string. */
 std::string strfmt(const char *fmt, ...);
 
+/** FORMS_ASSERT backend: panic with expression/location context. */
+[[noreturn]] void panicAt(const char *expr, const char *file, int line,
+                          const char *fmt, ...);
+
 /**
  * Internal check macro: panics with expression text when `cond` is false.
  * Used for invariants that must hold regardless of user input.
@@ -41,8 +45,7 @@ std::string strfmt(const char *fmt, ...);
 #define FORMS_ASSERT(cond, ...)                                          \
     do {                                                                 \
         if (!(cond)) {                                                   \
-            ::forms::panic("assertion '%s' failed at %s:%d — " __VA_ARGS__, \
-                           #cond, __FILE__, __LINE__);                   \
+            ::forms::panicAt(#cond, __FILE__, __LINE__, __VA_ARGS__);    \
         }                                                                \
     } while (0)
 

@@ -134,7 +134,7 @@ buildNodeExecs(const compile::Graph &g, const std::vector<int> &topo,
 }
 
 Tensor
-runGraph(const compile::Graph &g, const std::vector<NodeExec> &execs,
+runGraph(const compile::Graph &g, std::vector<NodeExec> &execs,
          const Tensor &batch, ThreadPool &tp, int input_bits,
          std::vector<arch::EngineStats> &stats,
          const PhaseSink &on_phase)
@@ -158,7 +158,7 @@ runGraph(const compile::Graph &g, const std::vector<NodeExec> &execs,
     ++slots[static_cast<size_t>(g.output())].remaining;
 
     for (size_t idx = 0; idx < execs.size(); ++idx) {
-        const NodeExec &e = execs[idx];
+        NodeExec &e = execs[idx];
         Slot &out = slots[static_cast<size_t>(e.nodeId)];
         auto in = [&](size_t i) -> const Tensor & {
             return *slots[static_cast<size_t>(e.inputs[i])].ref;
@@ -178,7 +178,7 @@ runGraph(const compile::Graph &g, const std::vector<NodeExec> &execs,
             out.owned = convStage(in(0), se, *e.mapped, e.bias,
                                   e.chanScale, e.outC, e.k, e.stride,
                                   e.pad, input_bits, e.scale, tp,
-                                  &stats[idx]);
+                                  &stats[idx], &e.im2colScratch);
             break;
         }
         case compile::Op::Dense: {

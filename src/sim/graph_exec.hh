@@ -60,6 +60,10 @@ struct NodeExec
 
     // Unfolded BatchNorm, eval mode: y = x * scale[c] + shift[c].
     std::vector<float> bnScale, bnShift;
+
+    // Conv: reused im2col buffer — steady-state micro-batches lower
+    // into the same storage instead of allocating per call.
+    Tensor im2colScratch;
 };
 
 /**
@@ -111,10 +115,13 @@ buildNodeExecs(const compile::Graph &g, const std::vector<int> &topo,
  *        calls reproduces one engine-lifetime serial fold
  * @param on_phase optional per-(node, replica) timing sink; see
  *        PhaseSink
+ *
+ * `execs` is mutable for the same reason it was already
+ * one-caller-at-a-time: programmed nodes carry per-node execution
+ * state (engine presentation streams, the conv im2col scratch).
  */
-Tensor runGraph(const compile::Graph &g,
-                const std::vector<NodeExec> &execs, const Tensor &batch,
-                ThreadPool &tp, int input_bits,
+Tensor runGraph(const compile::Graph &g, std::vector<NodeExec> &execs,
+                const Tensor &batch, ThreadPool &tp, int input_bits,
                 std::vector<arch::EngineStats> &stats,
                 const PhaseSink &on_phase = {});
 

@@ -45,6 +45,9 @@ struct InferenceRuntime::Stage
 
     // Pooling geometry.
     int poolK = 0, poolStride = 0;
+
+    // Conv: reused im2col buffer (see convStage).
+    Tensor im2colScratch;
 };
 
 
@@ -194,7 +197,8 @@ InferenceRuntime::forward(const Tensor &batch, RuntimeReport *report)
             arch::EngineStats st;
             cur = convStage(*act, StageEngines{{s.engine.get()}, {}},
                             s.mapped, s.bias, {}, s.outC, s.k, s.stride,
-                            s.pad, in_bits, s.scale, tp, &st);
+                            s.pad, in_bits, s.scale, tp, &st,
+                            &s.im2colScratch);
             if (report) {
                 recordLayer(*report, programmed_idx, s.name, st,
                             s.mapped.numCrossbars(), st.presentations);

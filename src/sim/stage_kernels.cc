@@ -180,7 +180,8 @@ convStage(const Tensor &act, const StageEngines &engines,
           const std::vector<float> &bias,
           const std::vector<float> &chan_scale, int out_c, int k,
           int stride, int pad, int input_bits, const StageScale &sc,
-          ThreadPool &tp, arch::EngineStats *stats)
+          ThreadPool &tp, arch::EngineStats *stats,
+          Tensor *im2col_scratch)
 {
     FORMS_ASSERT(chan_scale.empty() ||
                      chan_scale.size() == static_cast<size_t>(out_c),
@@ -192,8 +193,11 @@ convStage(const Tensor &act, const StageEngines &engines,
     const int ow = convOutDim(w, k, stride, pad);
 
     // Lower to presentations: column j of the im2col matrix is patch
-    // (img, oy, ox) with j = (img*oh + oy)*ow + ox.
-    Tensor cols = im2col(act, k, k, stride, pad);
+    // (img, oy, ox) with j = (img*oh + oy)*ow + ox. The caller's
+    // scratch (when given) absorbs the per-micro-batch allocation.
+    Tensor local_cols;
+    Tensor &cols = im2col_scratch ? *im2col_scratch : local_cols;
+    im2colInto(act, k, k, stride, pad, cols);
     const int64_t rows = cols.dim(0);
     const int64_t m = cols.dim(1);
     const float *pc = cols.data();

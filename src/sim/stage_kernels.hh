@@ -124,6 +124,12 @@ struct StageEngines
  * where an empty `chan_scale` means all-ones (plain bias add). The
  * per-channel scale carries BN folded into the periphery
  * (compile::FoldMode::DigitalScale).
+ *
+ * `im2col_scratch`, when given, receives the lowered presentations and
+ * is reused across calls: a stage that keeps one scratch tensor per
+ * engine set makes steady-state micro-batches allocation-free in the
+ * conv hot path (the buffer is only reallocated when the im2col
+ * geometry changes).
  */
 Tensor convStage(const Tensor &act, const StageEngines &engines,
                  const arch::MappedLayer &mapped,
@@ -131,7 +137,8 @@ Tensor convStage(const Tensor &act, const StageEngines &engines,
                  const std::vector<float> &chan_scale, int out_c, int k,
                  int stride, int pad, int input_bits,
                  const StageScale &sc, ThreadPool &tp,
-                 arch::EngineStats *stats);
+                 arch::EngineStats *stats,
+                 Tensor *im2col_scratch = nullptr);
 
 /** Run one dense stage on a flattened (N, features) batch. */
 Tensor denseStage(const Tensor &act, const StageEngines &engines,

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/simd.hh"
 #include "common/threadpool.hh"
 
 namespace forms {
@@ -40,15 +41,13 @@ matmul(const Tensor &a, const Tensor &b)
     const float *pa = a.data();
     const float *pb = b.data();
     float *pc = c.data();
+    const simd::Kernels &kern = simd::kernels();
     parallelFor(0, m, grainFor(k * n), [&](int64_t i, int) {
         for (int64_t l = 0; l < k; ++l) {
             const float av = pa[i * k + l];
             if (av == 0.0f)
                 continue;
-            const float *brow = pb + l * n;
-            float *crow = pc + i * n;
-            for (int64_t j = 0; j < n; ++j)
-                crow[j] += av * brow[j];
+            kern.axpyF32(pc + i * n, pb + l * n, av, n);
         }
     });
     return c;
@@ -64,14 +63,14 @@ matmulTransposeB(const Tensor &a, const Tensor &b_t)
     const float *pa = a.data();
     const float *pb = b_t.data();
     float *pc = c.data();
+    // dotF32's lane-blocked reduction tree (common/simd.hh) is the
+    // kernel's definition, so every dispatch mode produces the same
+    // bits here.
+    const simd::Kernels &kern = simd::kernels();
     parallelFor(0, m, grainFor(k * n), [&](int64_t i, int) {
         for (int64_t j = 0; j < n; ++j) {
-            const float *arow = pa + i * k;
-            const float *brow = pb + j * k;
-            double acc = 0.0;
-            for (int64_t l = 0; l < k; ++l)
-                acc += static_cast<double>(arow[l]) * brow[l];
-            pc[i * n + j] = static_cast<float>(acc);
+            pc[i * n + j] = static_cast<float>(
+                kern.dotF32(pa + i * k, pb + j * k, k));
         }
     });
     return c;
@@ -90,15 +89,14 @@ matmulTransposeA(const Tensor &a, const Tensor &b)
     // Sharded over output rows l (not the reduction axis i) so each
     // C row is owned by one task and the i-order accumulation per
     // (l, j) matches the serial loop exactly.
+    const simd::Kernels &kern = simd::kernels();
     parallelFor(0, k, grainFor(m * n), [&](int64_t l, int) {
         float *crow = pc + l * n;
         for (int64_t i = 0; i < m; ++i) {
             const float av = pa[i * k + l];
             if (av == 0.0f)
                 continue;
-            const float *brow = pb + i * n;
-            for (int64_t j = 0; j < n; ++j)
-                crow[j] += av * brow[j];
+            kern.axpyF32(crow, pb + i * n, av, n);
         }
     });
     return c;
@@ -124,8 +122,9 @@ convOutDim(int in, int k, int stride, int pad)
     return out;
 }
 
-Tensor
-im2col(const Tensor &input, int kh, int kw, int stride, int pad)
+void
+im2colInto(const Tensor &input, int kh, int kw, int stride, int pad,
+           Tensor &out)
 {
     FORMS_ASSERT(input.rank() == 4, "im2col expects NCHW");
     const int64_t n = input.dim(0), c = input.dim(1);
@@ -136,9 +135,15 @@ im2col(const Tensor &input, int kh, int kw, int stride, int pad)
 
     const int64_t rows = c * kh * kw;
     const int64_t cols = n * oh * ow;
-    Tensor out({rows, cols});
+    // Reuse the caller's buffer when the geometry matches (the conv
+    // hot path hands the same scratch tensor to every micro-batch);
+    // every output element is written below, so stale contents are
+    // harmless.
+    if (out.rank() != 2 || out.dim(0) != rows || out.dim(1) != cols)
+        out = Tensor({rows, cols});
     float *po = out.data();
     const float *pi = input.data();
+    const simd::Kernels &kern = simd::kernels();
 
     // One task per (image, channel) plane: each writes a disjoint
     // (row band, column band) block of the output.
@@ -157,15 +162,41 @@ im2col(const Tensor &input, int kh, int kw, int stride, int pad)
                         std::fill(dst, dst + ow, 0.0f);
                         continue;
                     }
-                    for (int ox = 0; ox < ow; ++ox) {
-                        const int ix = ox * stride - pad + kx;
-                        dst[ox] = (ix >= 0 && ix < w)
-                            ? plane[iy * w + ix] : 0.0f;
+                    const float *srow = plane + iy * w;
+                    if (stride == 1) {
+                        // Unit stride reads a contiguous span: pad
+                        // fills at the edges, one stride-1 copy for
+                        // the interior (pure data movement — bitwise
+                        // mode-independent).
+                        const int shift = kx - pad;   // ix = ox + shift
+                        const int x0 = std::max(0, -shift);
+                        const int x1 = std::min(ow, w - shift);
+                        if (x0 > 0)
+                            std::fill(dst, dst + std::min(x0, ow), 0.0f);
+                        if (x1 > x0)
+                            kern.copyF32(dst + x0, srow + x0 + shift,
+                                         x1 - x0);
+                        if (std::max(x0, x1) < ow)
+                            std::fill(dst + std::max(x0, x1), dst + ow,
+                                      0.0f);
+                    } else {
+                        for (int ox = 0; ox < ow; ++ox) {
+                            const int ix = ox * stride - pad + kx;
+                            dst[ox] = (ix >= 0 && ix < w)
+                                ? srow[ix] : 0.0f;
+                        }
                     }
                 }
             }
         }
     });
+}
+
+Tensor
+im2col(const Tensor &input, int kh, int kw, int stride, int pad)
+{
+    Tensor out;
+    im2colInto(input, kh, kw, stride, pad, out);
     return out;
 }
 

@@ -35,6 +35,14 @@ Tensor transpose(const Tensor &a);
  */
 Tensor im2col(const Tensor &input, int kh, int kw, int stride, int pad);
 
+/**
+ * im2col writing into a caller-owned tensor, reallocating only when
+ * the output geometry changes. The conv hot path passes a per-stage
+ * scratch tensor so steady-state micro-batches are allocation-free.
+ */
+void im2colInto(const Tensor &input, int kh, int kw, int stride, int pad,
+                Tensor &out);
+
 /** Inverse scatter-add of im2col (for conv backward w.r.t. input). */
 Tensor col2im(const Tensor &cols, const Shape &input_shape, int kh, int kw,
               int stride, int pad);

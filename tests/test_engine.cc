@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "arch/engine.hh"
+#include "stats_testutil.hh"
 
 namespace forms::arch {
 namespace {
@@ -235,6 +236,78 @@ TEST(Engine, StatsAccounting)
     EXPECT_GT(stats.adcEnergyPj, 0.0);
     EXPECT_GT(stats.timeNs, 0.0);
     EXPECT_EQ(stats.presentations, 1u);
+}
+
+/**
+ * Scalar and dispatched engines are bit-identical — outputs AND stats
+ * — with ADC quantization, device variation and read noise all on.
+ * Geometries are chosen so the per-fragment column panels are NOT a
+ * multiple of the 4-wide vector blocks (cellBits 8 gives one cell per
+ * weight, so odd weight-column counts force 1–3-element tail lanes).
+ */
+TEST(Engine, ScalarAndDispatchedKernelsAreBitIdentical)
+{
+    struct Geometry
+    {
+        int cellBits, frag, cout;
+    };
+    for (const Geometry geo : {Geometry{8, 4, 5}, Geometry{2, 8, 6},
+                               Geometry{4, 16, 7}}) {
+        SCOPED_TRACE(strfmt("cellBits=%d frag=%d cout=%d", geo.cellBits,
+                            geo.frag, geo.cout));
+        TestLayer layer(geo.cout, 3, 3, geo.frag, 99);
+        MappingConfig mcfg = makeCfg(geo.frag);
+        mcfg.cellBits = geo.cellBits;
+        mcfg.inputBits = 8;
+        const MappedLayer mapped = mapLayer(layer.state, mcfg);
+
+        EngineConfig scfg;
+        scfg.adcBits = 4;
+        scfg.cell.bitsPerCell = geo.cellBits;
+        scfg.cell.variationSigma = 0.1;
+        scfg.readNoiseSigma = 0.02;
+        EngineConfig dcfg = scfg;
+        scfg.simdMode = simd::Mode::Scalar;
+        dcfg.simdMode = simd::Mode::Auto;
+
+        CrossbarEngine scalar_eng(mapped, scfg);
+        CrossbarEngine dispatch_eng(mapped, dcfg);
+        EXPECT_STREQ(scalar_eng.kernelName(), "scalar");
+
+        std::vector<std::vector<uint32_t>> batch;
+        for (uint64_t p = 0; p < 6; ++p) {
+            batch.push_back(randomInputs(
+                static_cast<size_t>(mapped.logicalRows), 8, 1000 + p));
+        }
+        EngineStats want, got;
+        const auto ref = scalar_eng.mvmBatch(batch, &want);
+        const auto out = dispatch_eng.mvmBatch(batch, &got);
+        ASSERT_EQ(ref.size(), out.size());
+        for (size_t p = 0; p < ref.size(); ++p) {
+            ASSERT_EQ(ref[p].size(), out[p].size());
+            for (size_t c = 0; c < ref[p].size(); ++c)
+                EXPECT_EQ(ref[p][c], out[p][c])
+                    << "presentation " << p << " column " << c;
+        }
+        expectStatsIdentical(want, got);
+    }
+}
+
+/**
+ * A device model whose precision disagrees with the mapping's slicing
+ * must be rejected up front with an actionable message (this also
+ * regression-tests FORMS_ASSERT's formatted-argument path, which used
+ * to crash inside panic() instead of printing).
+ */
+TEST(Engine, RejectsMismatchedCellPrecision)
+{
+    TestLayer layer(4, 3, 3, 8, 7);
+    MappingConfig mcfg = makeCfg(8);
+    mcfg.cellBits = 4;
+    const MappedLayer mapped = mapLayer(layer.state, mcfg);
+    EngineConfig ecfg;   // cell model still at the 2-bit default
+    EXPECT_DEATH(CrossbarEngine(mapped, ecfg),
+                 "4 bits/cell|bitsPerCell");
 }
 
 TEST(Engine, QuantizeActivationsRoundTrip)

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/simd.hh"
 #include "tensor/ops.hh"
 
 namespace forms {
@@ -93,6 +94,60 @@ TEST(Ops, MatmulTransposeVariantsAgree)
         EXPECT_NEAR(viaTB.at(i), ref.at(i), 1e-4);
         EXPECT_NEAR(viaTA.at(i), ref.at(i), 1e-4);
     }
+}
+
+/**
+ * The dispatched matmul / matmulTransposeB / im2col kernels are
+ * bit-identical to their scalar-mode runs on deliberately ragged
+ * shapes (dimensions coprime to every vector width, so the 4-wide
+ * main loops always leave 1–3-element tails). On a scalar-only build
+ * both runs use the same table and the check degenerates harmlessly.
+ */
+TEST(Ops, DispatchModesAreBitIdenticalOnRaggedShapes)
+{
+    Rng rng(12);
+    // k = 23 and n = 13 are the reduction / row extents the SIMD
+    // paths block by 4; neither divides evenly.
+    Tensor a({5, 23}), b({23, 13}), bt({13, 23});
+    Tensor img({2, 3, 9, 7});
+    a.fillGaussian(rng, 0.0f, 1.0f);
+    b.fillGaussian(rng, 0.0f, 1.0f);
+    bt.fillGaussian(rng, 0.0f, 1.0f);
+    img.fillUniform(rng, -1.0f, 1.0f);
+
+    simd::setProcessMode(simd::Mode::Scalar);
+    const Tensor mm_ref = matmul(a, b);
+    const Tensor mt_ref = matmulTransposeB(a, bt);
+    const Tensor ta_ref = matmulTransposeA(transpose(a), b);
+    const Tensor im_ref = im2col(img, 3, 3, 1, 1);
+    const Tensor im_ref2 = im2col(img, 2, 2, 2, 0);   // strided path
+
+    simd::setProcessMode(simd::Mode::Auto);
+    EXPECT_TRUE(matmul(a, b).equals(mm_ref));
+    EXPECT_TRUE(matmulTransposeB(a, bt).equals(mt_ref));
+    EXPECT_TRUE(matmulTransposeA(transpose(a), b).equals(ta_ref));
+    EXPECT_TRUE(im2col(img, 3, 3, 1, 1).equals(im_ref));
+    EXPECT_TRUE(im2col(img, 2, 2, 2, 0).equals(im_ref2));
+}
+
+/** im2colInto reuses caller storage without changing the result. */
+TEST(Ops, Im2colIntoReusedScratchMatchesFreshAllocation)
+{
+    Rng rng(13);
+    Tensor big({2, 3, 8, 8}), small({1, 3, 5, 5});
+    big.fillGaussian(rng, 0.0f, 1.0f);
+    small.fillGaussian(rng, 0.0f, 1.0f);
+
+    Tensor scratch;
+    im2colInto(big, 3, 3, 1, 1, scratch);
+    EXPECT_TRUE(scratch.equals(im2col(big, 3, 3, 1, 1)));
+    // Shrinking reuse: stale tail data from the larger lowering must
+    // not leak into the smaller one.
+    im2colInto(small, 3, 3, 1, 1, scratch);
+    EXPECT_TRUE(scratch.equals(im2col(small, 3, 3, 1, 1)));
+    // And growing again reallocates correctly.
+    im2colInto(big, 3, 3, 2, 0, scratch);
+    EXPECT_TRUE(scratch.equals(im2col(big, 3, 3, 2, 0)));
 }
 
 TEST(Ops, TransposeRoundTrip)
