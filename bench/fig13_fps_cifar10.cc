@@ -18,6 +18,7 @@
 #include "common/simd.hh"
 #include "common/table.hh"
 #include "nn/layers.hh"
+#include "obs/run_manifest.hh"
 #include "sim/perf_model.hh"
 #include "sim/runtime.hh"
 
@@ -112,24 +113,24 @@ runtimeBench()
         warn("cannot write BENCH_runtime.json");
         return;
     }
-    std::fprintf(json,
-                 "{\n"
-                 "  \"bench\": \"fig13_runtime\",\n"
-                 "  \"images\": %lld,\n"
-                 "  \"presentations\": %llu,\n"
-                 "  \"threads\": %d,\n"
-                 "  \"serial_wall_ms\": %.3f,\n"
-                 "  \"parallel_wall_ms\": %.3f,\n"
-                 "  \"speedup\": %.3f,\n"
-                 "  \"model_time_us\": %.3f,\n"
-                 "  \"model_energy_nj\": %.3f\n"
-                 "}\n",
-                 static_cast<long long>(images),
-                 static_cast<unsigned long long>(
-                     parallel_rep.presentations),
-                 parallel_pool.threads(), serial_ms, parallel_ms,
-                 speedup, parallel_rep.modelTimeNs() / 1e3,
-                 parallel_rep.modelEnergyPj() / 1e3);
+    obs::RunManifest manifest = obs::RunManifest::collect("fig13_runtime");
+    manifest.set("images", static_cast<int64_t>(images))
+        .set("repeats", repeats)
+        .set("parallel_threads", parallel_pool.threads());
+    obs::JsonWriter w(json);
+    w.beginObject();
+    obs::writeBenchHeader(w, manifest);
+    w.field("bench", "fig13_runtime");
+    w.field("images", images);
+    w.field("presentations", parallel_rep.presentations);
+    w.field("threads", parallel_pool.threads());
+    w.field("serial_wall_ms", serial_ms);
+    w.field("parallel_wall_ms", parallel_ms);
+    w.field("speedup", speedup);
+    w.field("model_time_us", parallel_rep.modelTimeNs() / 1e3);
+    w.field("model_energy_nj", parallel_rep.modelEnergyPj() / 1e3);
+    w.endObject();
+    std::fputc('\n', json);
     std::fclose(json);
     std::printf("wrote BENCH_runtime.json (serial %.1f ms, parallel "
                 "%.1f ms on %d threads, %.2fx)\n",

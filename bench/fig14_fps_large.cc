@@ -20,6 +20,7 @@
 #include "compile/passes.hh"
 #include "nn/layers.hh"
 #include "nn/zoo.hh"
+#include "obs/run_manifest.hh"
 #include "sim/graph_runtime.hh"
 #include "sim/perf_model.hh"
 #include "sim/runtime.hh"
@@ -156,56 +157,46 @@ writeGraphJson(const std::vector<GraphBenchResult> &results)
         warn("cannot write BENCH_graph.json");
         return;
     }
-    std::fprintf(json,
-                 "{\n"
-                 "  \"bench\": \"fig14_graph_runtime\",\n"
-                 "  \"threads\": %d,\n"
-                 "  \"networks\": [\n",
-                 ThreadPool::global().threads());
-    for (size_t n = 0; n < results.size(); ++n) {
-        const GraphBenchResult &r = results[n];
-        std::fprintf(json,
-                     "    {\n"
-                     "      \"name\": \"%s\",\n"
-                     "      \"images\": %lld,\n"
-                     "      \"wall_ms\": %.3f,\n"
-                     "      \"fps\": %.3f,\n"
-                     "      \"presentations\": %llu,\n"
-                     "      \"crossbars\": %lld,\n"
-                     "      \"model_time_us\": %.3f,\n"
-                     "      \"model_energy_nj\": %.3f,\n"
-                     "      \"layers\": [\n",
-                     r.name.c_str(),
-                     static_cast<long long>(r.images), r.wallMs, r.fps,
-                     static_cast<unsigned long long>(
-                         r.rep.presentations),
-                     static_cast<long long>(r.crossbars),
-                     r.rep.modelTimeNs() / 1e3,
-                     r.rep.modelEnergyPj() / 1e3);
-        for (size_t i = 0; i < r.rep.layers.size(); ++i) {
-            const auto &l = r.rep.layers[i];
-            std::fprintf(json,
-                         "        {\"name\": \"%s\", "
-                         "\"crossbars\": %lld, "
-                         "\"presentations\": %llu, "
-                         "\"adc_samples\": %llu, "
-                         "\"model_time_us\": %.3f, "
-                         "\"energy_nj\": %.3f}%s\n",
-                         l.name.c_str(),
-                         static_cast<long long>(l.crossbars),
-                         static_cast<unsigned long long>(
-                             l.stats.presentations),
-                         static_cast<unsigned long long>(
-                             l.stats.adcSamples),
-                         l.stats.timeNs / 1e3,
-                         (l.stats.adcEnergyPj +
-                          l.stats.crossbarEnergyPj) / 1e3,
-                         i + 1 < r.rep.layers.size() ? "," : "");
+    obs::RunManifest manifest =
+        obs::RunManifest::collect("fig14_graph_runtime");
+    manifest.set("networks", static_cast<int64_t>(results.size()));
+    obs::JsonWriter w(json);
+    w.beginObject();
+    obs::writeBenchHeader(w, manifest);
+    w.field("bench", "fig14_graph_runtime");
+    w.field("threads", ThreadPool::global().threads());
+    w.key("networks");
+    w.beginArray();
+    for (const GraphBenchResult &r : results) {
+        w.beginObject();
+        w.field("name", r.name);
+        w.field("images", r.images);
+        w.field("wall_ms", r.wallMs);
+        w.field("fps", r.fps);
+        w.field("presentations", r.rep.presentations);
+        w.field("crossbars", r.crossbars);
+        w.field("model_time_us", r.rep.modelTimeNs() / 1e3);
+        w.field("model_energy_nj", r.rep.modelEnergyPj() / 1e3);
+        w.key("layers");
+        w.beginArray();
+        for (const auto &l : r.rep.layers) {
+            w.beginObject();
+            w.field("name", l.name);
+            w.field("crossbars", l.crossbars);
+            w.field("presentations", l.stats.presentations);
+            w.field("adc_samples", l.stats.adcSamples);
+            w.field("model_time_us", l.stats.timeNs / 1e3);
+            w.field("energy_nj",
+                    (l.stats.adcEnergyPj + l.stats.crossbarEnergyPj) /
+                        1e3);
+            w.endObject();
         }
-        std::fprintf(json, "      ]\n    }%s\n",
-                     n + 1 < results.size() ? "," : "");
+        w.endArray();
+        w.endObject();
     }
-    std::fprintf(json, "  ]\n}\n");
+    w.endArray();
+    w.endObject();
+    std::fputc('\n', json);
     std::fclose(json);
     std::printf("wrote BENCH_graph.json (%zu networks, %d threads)\n",
                 results.size(), ThreadPool::global().threads());

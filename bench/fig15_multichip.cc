@@ -23,8 +23,15 @@
  * GraphRuntime in every mode at every chip count (the DESIGN.md §5
  * contract — chips and replicas shard the model, not the
  * arithmetic).
+ *
+ * Also emits trace_fig15.json, a Perfetto-loadable timeline of one
+ * representative configuration (resnet_small, 4 chips,
+ * replicated_tile) reconstructed by PipelineRuntime's trace sink
+ * (docs/OBSERVABILITY.md), and cross-checks that the per-chip busy
+ * totals in the trace agree with ChipReport::busyNs.
  */
 
+#include <cmath>
 #include <cstdio>
 
 #include "common/logging.hh"
@@ -34,6 +41,8 @@
 #include "compile/schedule.hh"
 #include "nn/layers.hh"
 #include "nn/zoo.hh"
+#include "obs/run_manifest.hh"
+#include "obs/trace.hh"
 #include "sim/graph_runtime.hh"
 #include "sim/pipeline_runtime.hh"
 
@@ -201,48 +210,41 @@ runNet(const std::string &name, nn::Network &net)
 }
 
 void
-writeMode(FILE *json, const ModeResult &m, double base_fps,
-          const char *indent)
+writeMode(obs::JsonWriter &w, const ModeResult &m, double base_fps)
 {
-    std::fprintf(
-        json,
-        "{\"modeled_fps\": %.3f, "
-        "\"speedup_vs_1chip\": %.3f, "
-        "\"makespan_us\": %.3f, "
-        "\"bubble_fraction\": %.4f, "
-        "\"stages\": %d, "
-        "\"replicated\": %s, "
-        "\"max_replicas\": %d, "
-        "\"overlap_saved_us\": %.3f, "
-        "\"transfer_us\": %.3f, "
-        "\"transfer_nj\": %.3f, "
-        "\"cut_bytes_per_sample\": %lld, "
-        "\"logits_match_graph_runtime\": %s,\n"
-        "%s \"per_chip\": [",
-        m.rep.modeledFps(),
-        base_fps > 0.0 ? m.rep.modeledFps() / base_fps : 0.0,
-        m.rep.makespanNs / 1e3, m.rep.bubbleFraction, m.stages,
-        m.maxReplicas > 1 ? "true" : "false", m.maxReplicas,
-        m.rep.overlapSavedNs / 1e3, m.rep.transferNs / 1e3,
-        m.rep.transferPj / 1e3,
-        static_cast<long long>(m.cutBytesPerSample),
-        m.logitsMatchGraph ? "true" : "false", indent);
-    for (size_t c = 0; c < m.rep.chips.size(); ++c) {
-        const ChipReport &ch = m.rep.chips[c];
-        std::fprintf(
-            json,
-            "{\"chip\": %d, \"stage\": %d, \"replicas\": %d, "
-            "\"nodes\": %zu, \"programmed\": %zu, "
-            "\"crossbars\": %lld, \"utilization\": %.4f, "
-            "\"busy_us\": %.3f, \"compute_us\": %.3f, "
-            "\"quant_us\": %.3f, \"transfer_in_us\": %.3f}%s",
-            ch.chip, ch.stage, ch.replicas, ch.nodes,
-            ch.programmedNodes, static_cast<long long>(ch.crossbars),
-            ch.utilization, ch.busyNs / 1e3, ch.computeNs / 1e3,
-            ch.quantNs / 1e3, ch.transferInNs / 1e3,
-            c + 1 < m.rep.chips.size() ? ", " : "");
+    w.beginObject();
+    w.field("modeled_fps", m.rep.modeledFps());
+    w.field("speedup_vs_1chip",
+            base_fps > 0.0 ? m.rep.modeledFps() / base_fps : 0.0);
+    w.field("makespan_us", m.rep.makespanNs / 1e3);
+    w.field("bubble_fraction", m.rep.bubbleFraction);
+    w.field("stages", m.stages);
+    w.field("replicated", m.maxReplicas > 1);
+    w.field("max_replicas", m.maxReplicas);
+    w.field("overlap_saved_us", m.rep.overlapSavedNs / 1e3);
+    w.field("transfer_us", m.rep.transferNs / 1e3);
+    w.field("transfer_nj", m.rep.transferPj / 1e3);
+    w.field("cut_bytes_per_sample", m.cutBytesPerSample);
+    w.field("logits_match_graph_runtime", m.logitsMatchGraph);
+    w.key("per_chip");
+    w.beginArray();
+    for (const ChipReport &ch : m.rep.chips) {
+        w.beginObject();
+        w.field("chip", ch.chip);
+        w.field("stage", ch.stage);
+        w.field("replicas", ch.replicas);
+        w.field("nodes", static_cast<uint64_t>(ch.nodes));
+        w.field("programmed", static_cast<uint64_t>(ch.programmedNodes));
+        w.field("crossbars", ch.crossbars);
+        w.field("utilization", ch.utilization);
+        w.field("busy_us", ch.busyNs / 1e3);
+        w.field("compute_us", ch.computeNs / 1e3);
+        w.field("quant_us", ch.quantNs / 1e3);
+        w.field("transfer_in_us", ch.transferInNs / 1e3);
+        w.endObject();
     }
-    std::fprintf(json, "]}");
+    w.endArray();
+    w.endObject();
 }
 
 void
@@ -253,57 +255,144 @@ writePipelineJson(const std::vector<NetResult> &results)
         warn("cannot write BENCH_pipeline.json");
         return;
     }
-    std::fprintf(json,
-                 "{\n"
-                 "  \"bench\": \"fig15_multichip_pipeline\",\n"
-                 "  \"threads\": %d,\n"
-                 "  \"images\": %d,\n"
-                 "  \"micro_batch\": %d,\n"
-                 "  \"replicate_threshold\": %.2f,\n"
-                 "  \"max_replicas\": %d,\n"
-                 "  \"networks\": [\n",
-                 ThreadPool::global().threads(), kImages, kMicroBatch,
-                 kReplicateThreshold, kMaxReplicas);
-    for (size_t n = 0; n < results.size(); ++n) {
-        const NetResult &r = results[n];
-        std::fprintf(json,
-                     "    {\n"
-                     "      \"name\": \"%s\",\n"
-                     "      \"crossbars\": %lld,\n"
-                     "      \"chip_counts\": [\n",
-                     r.name.c_str(),
-                     static_cast<long long>(r.crossbars));
+    obs::RunManifest manifest =
+        obs::RunManifest::collect("fig15_multichip_pipeline");
+    manifest.set("images", kImages)
+        .set("micro_batch", kMicroBatch)
+        .set("replicate_threshold", kReplicateThreshold)
+        .set("max_replicas", kMaxReplicas);
+    obs::JsonWriter w(json);
+    w.beginObject();
+    obs::writeBenchHeader(w, manifest);
+    w.field("bench", "fig15_multichip_pipeline");
+    w.field("threads", ThreadPool::global().threads());
+    w.field("images", kImages);
+    w.field("micro_batch", kMicroBatch);
+    w.field("replicate_threshold", kReplicateThreshold);
+    w.field("max_replicas", kMaxReplicas);
+    w.key("networks");
+    w.beginArray();
+    for (const NetResult &r : results) {
+        w.beginObject();
+        w.field("name", r.name);
+        w.field("crossbars", r.crossbars);
+        w.key("chip_counts");
+        w.beginArray();
         for (size_t i = 0; i < r.points.size(); ++i) {
             const ChipCountResult &p = r.points[i];
             const ModeResult &base = p.modes[0];
             const ModeResult &best = p.modes[kNumModes - 1];
-            std::fprintf(json, "        {\"chips\": %d,\n", p.chips);
+            w.beginObject();
+            w.field("chips", p.chips);
             for (size_t mi = 0; mi < kNumModes; ++mi) {
-                std::fprintf(json, "         \"%s\": ",
-                             kModes[mi].name);
-                writeMode(json, p.modes[mi],
-                          r.points[0].modes[mi].rep.modeledFps(),
-                          "        ");
-                std::fprintf(json, ",\n");
+                w.key(kModes[mi].name);
+                writeMode(w, p.modes[mi],
+                          r.points[0].modes[mi].rep.modeledFps());
             }
             // The headline deltas the replication + intra-chip tile
             // features buy over the PR 3 contiguous schedule.
             const double base_fps = base.rep.modeledFps();
-            std::fprintf(
-                json,
-                "         \"fps_gain_vs_contiguous\": %.3f,\n"
-                "         \"bubble_drop_vs_contiguous\": %.4f}%s\n",
-                base_fps > 0.0 ? best.rep.modeledFps() / base_fps : 0.0,
-                base.rep.bubbleFraction - best.rep.bubbleFraction,
-                i + 1 < r.points.size() ? "," : "");
+            w.field("fps_gain_vs_contiguous",
+                    base_fps > 0.0 ? best.rep.modeledFps() / base_fps
+                                   : 0.0);
+            w.field("bubble_drop_vs_contiguous",
+                    base.rep.bubbleFraction - best.rep.bubbleFraction);
+            w.endObject();
         }
-        std::fprintf(json, "      ]\n    }%s\n",
-                     n + 1 < results.size() ? "," : "");
+        w.endArray();
+        w.endObject();
     }
-    std::fprintf(json, "  ]\n}\n");
+    w.endArray();
+    w.endObject();
+    std::fputc('\n', json);
     std::fclose(json);
     std::printf("wrote BENCH_pipeline.json (%zu networks, %d threads)\n",
                 results.size(), ThreadPool::global().threads());
+}
+
+/**
+ * Trace one representative configuration (resnet_small, 4 chips,
+ * replicated_tile) into trace_fig15.json and cross-check the trace
+ * against the report: per chip, the "stage"-category slice durations
+ * must sum to ChipReport::busyNs — the trace is a reconstruction of
+ * the same modeled timeline, not an independent estimate.
+ */
+bool
+writeTraceArtifact()
+{
+    Rng rng(11);
+    auto net = nn::buildResNetSmall(rng, 10, 8);
+    auto graph = compile::lowerNetwork(*net);
+    graph.inferShapes({3, 32, 32});
+    compile::foldBatchNorm(graph);
+    auto states = snapshotCompress(*net, 8, 8);
+
+    compile::ScheduleConfig scfg;
+    scfg.chips = 4;
+    scfg.workModel = compile::WorkModel::AdcTime;
+    scfg.replicateThreshold = kReplicateThreshold;
+    scfg.maxReplicas = kMaxReplicas;
+    auto sched = compile::Schedule::partition(graph, scfg);
+
+    PipelineRuntimeConfig pcfg;
+    pcfg.runtime = benchConfig();
+    pcfg.microBatch = kMicroBatch;
+    pcfg.tile.overlap = true;
+
+    obs::TraceSession session;
+    session.install();   // host spans (programming, per-node work)
+    pcfg.trace = &session;
+
+    Rng brng(7);
+    Tensor batch({kImages, 3, 32, 32});
+    batch.fillUniform(brng, 0.0f, 1.0f);
+
+    PipelineRuntime rt(graph, std::move(sched), states, pcfg);
+    PipelineReport rep;
+    rt.forward(batch, &rep);
+    session.uninstall();
+
+    // Per-chip busy totals from the trace (pid = chip + 1, the
+    // "stage" track), against the report's ChipReport::busyNs.
+    std::vector<double> trace_busy_us(rep.chips.size(), 0.0);
+    for (const obs::TraceEvent &e : session.events()) {
+        if (e.type != obs::TraceEvent::Type::Complete ||
+            e.cat != "stage")
+            continue;
+        const size_t chip = static_cast<size_t>(e.pid - 1);
+        if (chip < trace_busy_us.size())
+            trace_busy_us[chip] += e.durUs;
+    }
+    bool busy_match = true;
+    for (size_t c = 0; c < rep.chips.size(); ++c) {
+        const double want_us = rep.chips[c].busyNs / 1e3;
+        const double got_us = trace_busy_us[c];
+        // Rounding tolerance: the trace stores each slice as its own
+        // double in microseconds, so totals differ from the report's
+        // nanosecond accumulation only by summation rounding.
+        const double tol = 1e-6 * std::max(1.0, std::abs(want_us));
+        if (std::abs(got_us - want_us) > tol) {
+            std::printf("TRACE MISMATCH: chip %zu busy %.6f us in "
+                        "trace vs %.6f us in report\n",
+                        c, got_us, want_us);
+            busy_match = false;
+        }
+    }
+
+    FILE *f = std::fopen("trace_fig15.json", "w");
+    if (!f) {
+        warn("cannot write trace_fig15.json");
+        return false;
+    }
+    obs::JsonWriter w(f, /*pretty=*/false);
+    session.writeJson(w);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote trace_fig15.json (resnet_small, 4 chips, "
+                "replicated_tile): per-chip busy totals %s the "
+                "report\n",
+                busy_match ? "MATCH" : "DIVERGE FROM");
+    return busy_match;
 }
 
 } // namespace
@@ -336,6 +425,7 @@ main()
         results.push_back(runNet("stem_wide", *net));
     }
     writePipelineJson(results);
+    const bool trace_ok = writeTraceArtifact();
 
     // The headline contracts, one line each: bit-exactness in every
     // mode, and the two new features must beat the PR 3 baseline at
@@ -361,5 +451,7 @@ main()
     std::printf("replicated_tile beats contiguous at 4 chips "
                 "(fps up, bubble down): %s\n",
                 all_faster ? "YES" : "NO");
-    return all_exact && all_faster ? 0 : 1;
+    std::printf("trace busy totals agree with ChipReport: %s\n",
+                trace_ok ? "YES" : "NO");
+    return all_exact && all_faster && trace_ok ? 0 : 1;
 }

@@ -27,6 +27,7 @@
 #include "nn/dataset.hh"
 #include "nn/trainer.hh"
 #include "nn/zoo.hh"
+#include "obs/run_manifest.hh"
 #include "sim/calibrator.hh"
 #include "sim/graph_runtime.hh"
 
@@ -191,29 +192,34 @@ main()
         warn("cannot write BENCH_calibration.json");
         return 1;
     }
-    std::fprintf(json,
-                 "{\n"
-                 "  \"bench\": \"fig16_calibration\",\n"
-                 "  \"threads\": %d,\n"
-                 "  \"network\": \"resnet_small\",\n"
-                 "  \"test_images\": %d,\n"
-                 "  \"fp_accuracy\": %.4f,\n"
-                 "  \"idealized_accuracy\": %.4f,\n"
-                 "  \"points\": [\n",
-                 ThreadPool::global().threads(),
-                 static_cast<int>(test.dim(0)), fp_acc, ideal_acc);
-    for (size_t i = 0; i < results.size(); ++i) {
-        const CalibResult &r = results[i];
-        std::fprintf(
-            json,
-            "    {\"policy\": \"%s\", \"calib_images\": %d, "
-            "\"accuracy\": %.4f, \"delta_vs_idealized\": %.4f, "
-            "\"clip_fraction\": %.6f, \"table_entries\": %zu}%s\n",
-            calibPolicyName(r.policy), r.calibImages, r.accuracy,
-            r.accuracy - ideal_acc, r.clipFraction, r.tableEntries,
-            i + 1 < results.size() ? "," : "");
+    obs::RunManifest manifest =
+        obs::RunManifest::collect("fig16_calibration");
+    manifest.set("network", "resnet_small")
+        .set("train_seed", static_cast<int64_t>(tcfg.seed));
+    obs::JsonWriter w(json);
+    w.beginObject();
+    obs::writeBenchHeader(w, manifest);
+    w.field("bench", "fig16_calibration");
+    w.field("threads", ThreadPool::global().threads());
+    w.field("network", "resnet_small");
+    w.field("test_images", static_cast<int64_t>(test.dim(0)));
+    w.field("fp_accuracy", fp_acc);
+    w.field("idealized_accuracy", ideal_acc);
+    w.key("points");
+    w.beginArray();
+    for (const CalibResult &r : results) {
+        w.beginObject();
+        w.field("policy", calibPolicyName(r.policy));
+        w.field("calib_images", r.calibImages);
+        w.field("accuracy", r.accuracy);
+        w.field("delta_vs_idealized", r.accuracy - ideal_acc);
+        w.field("clip_fraction", r.clipFraction);
+        w.field("table_entries", static_cast<uint64_t>(r.tableEntries));
+        w.endObject();
     }
-    std::fprintf(json, "  ]\n}\n");
+    w.endArray();
+    w.endObject();
+    std::fputc('\n', json);
     std::fclose(json);
     std::printf("wrote BENCH_calibration.json (%zu points)\n",
                 results.size());

@@ -25,6 +25,7 @@
 #include "arch/engine.hh"
 #include "common/logging.hh"
 #include "common/simd.hh"
+#include "obs/run_manifest.hh"
 #include "tensor/ops.hh"
 
 using namespace forms;
@@ -316,38 +317,36 @@ writeJson()
         warn("cannot write BENCH_kernels.json");
         return;
     }
-    std::fprintf(json,
-                 "{\n"
-                 "  \"bench\": \"micro_kernels\",\n"
-                 "  \"dispatch\": \"%s\",\n"
-                 "  \"build\": \"%s\",\n"
-                 "  \"bit_identical\": %s,\n"
-                 "  \"kernels\": [\n",
-                 simd::modeName(simd::processMode()),
+    obs::RunManifest manifest = obs::RunManifest::collect("micro_kernels");
+    obs::JsonWriter w(json);
+    w.beginObject();
+    obs::writeBenchHeader(w, manifest);
+    w.field("bench", "micro_kernels");
+    w.field("dispatch", simd::modeName(simd::processMode()));
 #if defined(FORMS_BUILD_TYPE)
-                 FORMS_BUILD_TYPE,
+    w.field("build", FORMS_BUILD_TYPE);
 #else
-                 "unknown",
+    w.field("build", "unknown");
 #endif
-                 g_identical ? "true" : "false");
-    for (size_t i = 0; i < g_rows.size(); ++i) {
-        const KernelRow &r = g_rows[i];
-        std::fprintf(json,
-                     "    {\"name\": \"%s\", \"n\": %lld, "
-                     "\"scalar_ns_op\": %.2f, "
-                     "\"dispatch_ns_op\": %.2f, "
-                     "\"scalar_gbps\": %.3f, "
-                     "\"dispatch_gbps\": %.3f, "
-                     "\"speedup\": %.3f}%s\n",
-                     r.name.c_str(), static_cast<long long>(r.n),
-                     r.scalarNs, r.dispatchNs,
-                     gbps(r.bytes, r.scalarNs),
-                     gbps(r.bytes, r.dispatchNs),
-                     r.dispatchNs > 0.0 ? r.scalarNs / r.dispatchNs
-                                        : 0.0,
-                     i + 1 < g_rows.size() ? "," : "");
+    w.field("bit_identical", g_identical);
+    w.key("kernels");
+    w.beginArray();
+    for (const KernelRow &r : g_rows) {
+        w.beginObject();
+        w.field("name", r.name);
+        w.field("n", r.n);
+        w.field("scalar_ns_op", r.scalarNs);
+        w.field("dispatch_ns_op", r.dispatchNs);
+        w.field("scalar_gbps", gbps(r.bytes, r.scalarNs));
+        w.field("dispatch_gbps", gbps(r.bytes, r.dispatchNs));
+        w.field("speedup", r.dispatchNs > 0.0
+                               ? r.scalarNs / r.dispatchNs
+                               : 0.0);
+        w.endObject();
     }
-    std::fprintf(json, "  ]\n}\n");
+    w.endArray();
+    w.endObject();
+    std::fputc('\n', json);
     std::fclose(json);
     std::printf("wrote BENCH_kernels.json (%zu kernels, dispatch=%s)\n",
                 g_rows.size(), simd::modeName(simd::processMode()));

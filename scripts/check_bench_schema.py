@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Validate the repo's machine-readable bench artifacts.
+
+Every BENCH_*.json must parse, carry the current `schema_version`, a
+complete provenance `manifest` (see docs/OBSERVABILITY.md and
+src/obs/run_manifest.hh) and the per-bench required keys below — so a
+refactor that drops a field CI dashboards read, or a bench that stops
+stamping provenance, fails the docs job instead of silently shipping
+an artifact nobody can attribute.
+
+Usage: python3 scripts/check_bench_schema.py [file-or-dir ...]
+Arguments are artifact files or directories to glob BENCH_*.json in;
+with no arguments the current directory is globbed. Exits non-zero
+listing every violation. Files for benches not listed in SCHEMAS are
+still checked for the version + manifest envelope.
+"""
+
+import glob
+import json
+import os
+import sys
+
+SCHEMA_VERSION = 1  # keep in sync with obs::kBenchSchemaVersion
+
+MANIFEST_KEYS = ["bench", "git_sha", "build", "simd_dispatch",
+                 "threads", "config"]
+
+# Per-bench required top-level keys, plus (list key, required member
+# keys) for the artifact's main array.
+SCHEMAS = {
+    "BENCH_runtime.json": {
+        "bench": "fig13_runtime",
+        "keys": ["images", "presentations", "threads", "serial_wall_ms",
+                 "parallel_wall_ms", "speedup", "model_time_us",
+                 "model_energy_nj"],
+    },
+    "BENCH_graph.json": {
+        "bench": "fig14_graph_runtime",
+        "keys": ["threads", "networks"],
+        "list": ("networks",
+                 ["name", "images", "wall_ms", "fps", "presentations",
+                  "crossbars", "model_time_us", "model_energy_nj",
+                  "layers"]),
+    },
+    "BENCH_pipeline.json": {
+        "bench": "fig15_multichip_pipeline",
+        "keys": ["threads", "images", "micro_batch",
+                 "replicate_threshold", "max_replicas", "networks"],
+        "list": ("networks", ["name", "crossbars", "chip_counts"]),
+    },
+    "BENCH_calibration.json": {
+        "bench": "fig16_calibration",
+        "keys": ["threads", "network", "test_images", "fp_accuracy",
+                 "idealized_accuracy", "points"],
+        "list": ("points",
+                 ["policy", "calib_images", "accuracy",
+                  "delta_vs_idealized", "clip_fraction",
+                  "table_entries"]),
+    },
+    "BENCH_kernels.json": {
+        "bench": "micro_kernels",
+        "keys": ["dispatch", "build", "bit_identical", "kernels"],
+        "list": ("kernels",
+                 ["name", "n", "scalar_ns_op", "dispatch_ns_op",
+                  "scalar_gbps", "dispatch_gbps", "speedup"]),
+    },
+}
+
+
+def check_artifact(path):
+    errors = []
+    name = os.path.basename(path)
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return [f"unreadable or invalid JSON: {e}"]
+    if not isinstance(doc, dict):
+        return ["top-level value is not an object"]
+
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        errors.append(f"schema_version is {doc.get('schema_version')!r},"
+                      f" expected {SCHEMA_VERSION}")
+    manifest = doc.get("manifest")
+    if not isinstance(manifest, dict):
+        errors.append("missing manifest object")
+    else:
+        for key in MANIFEST_KEYS:
+            if key not in manifest:
+                errors.append(f"manifest missing {key!r}")
+        for key in ("git_sha", "build", "simd_dispatch"):
+            if not manifest.get(key):
+                errors.append(f"manifest {key!r} is empty")
+
+    schema = SCHEMAS.get(name)
+    if schema is None:
+        return errors
+    if isinstance(manifest, dict) and \
+            manifest.get("bench") != schema["bench"]:
+        errors.append(f"manifest bench is {manifest.get('bench')!r},"
+                      f" expected {schema['bench']!r}")
+    for key in schema["keys"]:
+        if key not in doc:
+            errors.append(f"missing required key {key!r}")
+    if "list" in schema:
+        list_key, member_keys = schema["list"]
+        rows = doc.get(list_key)
+        if not isinstance(rows, list) or not rows:
+            errors.append(f"{list_key!r} is missing or empty")
+        else:
+            for i, row in enumerate(rows):
+                for key in member_keys:
+                    if key not in row:
+                        errors.append(
+                            f"{list_key}[{i}] missing {key!r}")
+    return errors
+
+
+def collect_paths(args):
+    paths = []
+    for arg in args or ["."]:
+        if os.path.isdir(arg):
+            paths.extend(sorted(glob.glob(
+                os.path.join(arg, "BENCH_*.json"))))
+        else:
+            paths.append(arg)
+    return paths
+
+
+def main():
+    paths = collect_paths(sys.argv[1:])
+    if not paths:
+        print("no BENCH_*.json artifacts found")
+        return 1
+    failures = 0
+    for path in paths:
+        for err in check_artifact(path):
+            print(f"INVALID {path}: {err}")
+            failures += 1
+    if failures:
+        print(f"{failures} schema violation(s)")
+        return 1
+    print(f"{len(paths)} bench artifact(s) conform to schema "
+          f"v{SCHEMA_VERSION}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,13 +1,39 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
 #include <vector>
 
 namespace forms {
 
 namespace {
+
+/** -1 = not yet resolved from the environment. */
+std::atomic<int> g_logLevel{-1};
+
+LogLevel
+levelFromEnv()
+{
+    const char *env = std::getenv("FORMS_LOG");
+    if (!env || !*env)
+        return LogLevel::Info;
+    if (std::strcmp(env, "debug") == 0)
+        return LogLevel::Debug;
+    if (std::strcmp(env, "info") == 0)
+        return LogLevel::Info;
+    if (std::strcmp(env, "warn") == 0)
+        return LogLevel::Warn;
+    // Can't use warn() here (it consults the level being resolved);
+    // print the complaint directly, unconditionally.
+    std::fprintf(stderr,
+                 "warn: FORMS_LOG='%s' not one of debug|info|warn — "
+                 "using info\n",
+                 env);
+    return LogLevel::Info;
+}
 
 /** Serializes emission so parallel workers' messages never interleave. */
 std::mutex &
@@ -42,6 +68,25 @@ emit(const char *tag, const char *fmt, va_list ap)
 }
 
 } // namespace
+
+LogLevel
+logLevel()
+{
+    int lvl = g_logLevel.load(std::memory_order_relaxed);
+    if (lvl < 0) {
+        lvl = static_cast<int>(levelFromEnv());
+        // A concurrent first caller resolves the same env value, so
+        // losing this race is harmless.
+        g_logLevel.store(lvl, std::memory_order_relaxed);
+    }
+    return static_cast<LogLevel>(lvl);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_logLevel.store(static_cast<int>(level), std::memory_order_relaxed);
+}
 
 void
 fatal(const char *fmt, ...)
@@ -83,6 +128,8 @@ panicAt(const char *expr, const char *file, int line, const char *fmt,
 void
 warn(const char *fmt, ...)
 {
+    if (logLevel() > LogLevel::Warn)
+        return;
     va_list ap;
     va_start(ap, fmt);
     emit("warn", fmt, ap);
@@ -92,9 +139,22 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
+    if (logLevel() > LogLevel::Info)
+        return;
     va_list ap;
     va_start(ap, fmt);
     emit("info", fmt, ap);
+    va_end(ap);
+}
+
+void
+debug(const char *fmt, ...)
+{
+    if (logLevel() > LogLevel::Debug)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    emit("debug", fmt, ap);
     va_end(ap);
 }
 

@@ -356,12 +356,15 @@ buildDescription()
 void
 printBenchBanner(const char *tool)
 {
-    std::printf("%s: %s\n", tool, buildDescription().c_str());
+    // Through the leveled logger: FORMS_LOG=warn silences the banner
+    // for scripted runs, while the unoptimized-build warning stays
+    // loud at every level short of silence.
+    inform("%s: %s", tool, buildDescription().c_str());
     if (!optimizedBuild()) {
-        std::printf("%s: WARNING: unoptimized build type '%s' — the "
-                    "numbers below are NOT meaningful performance "
-                    "data; rebuild with CMAKE_BUILD_TYPE=Release\n",
-                    tool, buildTypeName());
+        warn("%s: unoptimized build type '%s' — the numbers below are "
+             "NOT meaningful performance data; rebuild with "
+             "CMAKE_BUILD_TYPE=Release",
+             tool, buildTypeName());
     }
 }
 

@@ -4,6 +4,7 @@
 
 #include "nn/layers.hh"
 #include "nn/network.hh"
+#include "obs/trace.hh"
 
 namespace forms::compile {
 
@@ -74,6 +75,7 @@ lowerLayer(Graph &g, nn::Layer &l, int cur)
 Graph
 lowerNetwork(nn::Network &net)
 {
+    FORMS_TRACE_SCOPE("compile::lowerNetwork");
     Graph g;
     int cur = g.addNode(Op::Input, "input", {});
     for (size_t i = 0; i < net.size(); ++i)
@@ -141,6 +143,7 @@ foldIntoDigitalStage(Node &conv_node, const nn::BatchNorm2D &bn)
 int
 foldBatchNorm(Graph &g, FoldMode mode)
 {
+    FORMS_TRACE_SCOPE("compile::foldBatchNorm");
     int folded = 0;
     for (int id = 0; id < g.capacity(); ++id) {
         if (!g.alive(id) || g.node(id).op != Op::BatchNorm)

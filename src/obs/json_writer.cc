@@ -1,0 +1,264 @@
+#include "obs/json_writer.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace forms::obs {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (c < 0x20) {
+                char hex[8];
+                std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+                out += hex;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+JsonWriter::JsonWriter(bool pretty) : pretty_(pretty) {}
+
+JsonWriter::JsonWriter(FILE *out, bool pretty) : out_(out), pretty_(pretty)
+{
+    FORMS_ASSERT(out != nullptr, "JsonWriter: null FILE*");
+}
+
+void
+JsonWriter::emit(const char *text)
+{
+    if (out_)
+        std::fputs(text, out_);
+    else
+        buf_ += text;
+}
+
+void
+JsonWriter::newlineIndent(size_t depth)
+{
+    if (!pretty_)
+        return;
+    std::string pad = "\n";
+    pad.append(2 * depth, ' ');
+    emit(pad.c_str());
+}
+
+void
+JsonWriter::beforeValue()
+{
+    FORMS_ASSERT(!done_, "JsonWriter: document already complete");
+    if (stack_.empty()) {
+        // The single top-level value needs no separator.
+        return;
+    }
+    if (stack_.back() == Frame::Object) {
+        FORMS_ASSERT(havePendingKey_,
+                     "JsonWriter: object member written without key()");
+        havePendingKey_ = false;
+        return;   // key() already emitted the separator and the key
+    }
+    if (counts_.back() > 0)
+        emit(",");
+    newlineIndent(stack_.size());
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    FORMS_ASSERT(!stack_.empty() && stack_.back() == Frame::Object,
+                 "JsonWriter: key() outside an object");
+    FORMS_ASSERT(!havePendingKey_,
+                 "JsonWriter: key() twice without a value");
+    if (counts_.back() > 0)
+        emit(",");
+    newlineIndent(stack_.size());
+    emit(("\"" + jsonEscape(k) + (pretty_ ? "\": " : "\":")).c_str());
+    havePendingKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    emit("{");
+    stack_.push_back(Frame::Object);
+    counts_.push_back(0);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    FORMS_ASSERT(!stack_.empty() && stack_.back() == Frame::Object,
+                 "JsonWriter: endObject() without a matching begin");
+    FORMS_ASSERT(!havePendingKey_,
+                 "JsonWriter: endObject() with a dangling key");
+    const int members = counts_.back();
+    stack_.pop_back();
+    counts_.pop_back();
+    if (members > 0)
+        newlineIndent(stack_.size());
+    emit("}");
+    if (stack_.empty())
+        done_ = true;
+    else
+        ++counts_.back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    emit("[");
+    stack_.push_back(Frame::Array);
+    counts_.push_back(0);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    FORMS_ASSERT(!stack_.empty() && stack_.back() == Frame::Array,
+                 "JsonWriter: endArray() without a matching begin");
+    const int members = counts_.back();
+    stack_.pop_back();
+    counts_.pop_back();
+    if (members > 0)
+        newlineIndent(stack_.size());
+    emit("]");
+    if (stack_.empty())
+        done_ = true;
+    else
+        ++counts_.back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    beforeValue();
+    emit(("\"" + jsonEscape(v) + "\"").c_str());
+    if (stack_.empty())
+        done_ = true;
+    else
+        ++counts_.back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    emit(v ? "true" : "false");
+    if (stack_.empty())
+        done_ = true;
+    else
+        ++counts_.back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int v)
+{
+    return value(static_cast<int64_t>(v));
+}
+
+JsonWriter &
+JsonWriter::value(int64_t v)
+{
+    beforeValue();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    emit(buf);
+    if (stack_.empty())
+        done_ = true;
+    else
+        ++counts_.back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(uint64_t v)
+{
+    beforeValue();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    emit(buf);
+    if (stack_.empty())
+        done_ = true;
+    else
+        ++counts_.back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    if (!std::isfinite(v))
+        return null();
+    beforeValue();
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    emit(buf);
+    if (stack_.empty())
+        done_ = true;
+    else
+        ++counts_.back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    beforeValue();
+    emit("null");
+    if (stack_.empty())
+        done_ = true;
+    else
+        ++counts_.back();
+    return *this;
+}
+
+const std::string &
+JsonWriter::str() const
+{
+    FORMS_ASSERT(out_ == nullptr,
+                 "JsonWriter: str() on a FILE*-backed writer");
+    FORMS_ASSERT(done_ && stack_.empty(),
+                 "JsonWriter: str() before the document is complete");
+    return buf_;
+}
+
+bool
+JsonWriter::complete() const
+{
+    return done_ && stack_.empty();
+}
+
+} // namespace forms::obs

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Streaming JSON writer shared by every machine-readable artifact the
+ * repo emits (BENCH_*.json, metrics.json, Perfetto traces).
+ *
+ * Before this existed each bench hand-rolled its JSON with fprintf —
+ * five separate emitters, none of which escaped strings and each of
+ * which picked its own float format (the same bug class Graph::dump
+ * hit in PR 5, where %g collapsed nearby calibrated scales). The
+ * writer centralizes the two correctness rules:
+ *
+ *   - strings are always escaped (quotes, backslashes, control
+ *     characters) so a node name like `blk0.add` or a future name
+ *     with a quote can never corrupt an artifact, and
+ *   - floating-point values print as %.9g — enough significant
+ *     digits to round-trip any IEEE-754 float exactly — and
+ *     non-finite values (which raw fprintf would emit as `nan`/`inf`,
+ *     invalid JSON) degrade to null.
+ *
+ * Commas, colons and (in pretty mode) indentation are derived from a
+ * container stack, so emitters cannot produce structurally invalid
+ * JSON: mismatched begin/end or a value without a key panics at the
+ * call site instead of writing a file that fails to parse in CI.
+ *
+ * Thread-safety: none (one writer, one thread), like the FILE* it
+ * wraps.
+ */
+
+#ifndef FORMS_OBS_JSON_WRITER_HH
+#define FORMS_OBS_JSON_WRITER_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace forms::obs {
+
+/** JSON-escape `s` (quotes, backslashes, control characters). */
+std::string jsonEscape(const std::string &s);
+
+/** Structurally checked streaming JSON emitter. */
+class JsonWriter
+{
+  public:
+    /** Write to an in-memory string (see str()). */
+    explicit JsonWriter(bool pretty = true);
+
+    /** Write to an open FILE* (borrowed; caller closes). */
+    explicit JsonWriter(FILE *out, bool pretty = true);
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    // ---- containers --------------------------------------------------
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Member key inside an object; must be followed by a value. */
+    JsonWriter &key(const std::string &k);
+
+    // ---- values ------------------------------------------------------
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(bool v);
+    JsonWriter &value(int v);
+    JsonWriter &value(int64_t v);
+    JsonWriter &value(uint64_t v);
+    /** %.9g: round-trips every float exactly; non-finite -> null. */
+    JsonWriter &value(double v);
+    JsonWriter &null();
+
+    // ---- key + value sugar -------------------------------------------
+    template <typename T>
+    JsonWriter &field(const std::string &k, const T &v)
+    {
+        key(k);
+        return value(v);
+    }
+
+    /**
+     * Finished document (string sink only). Panics when containers
+     * are still open or the writer targets a FILE*.
+     */
+    const std::string &str() const;
+
+    /** True once the single top-level value is complete and closed. */
+    bool complete() const;
+
+  private:
+    enum class Frame { Object, Array };
+
+    void emit(const char *text);
+    void beforeValue();   //!< comma/key/indent bookkeeping
+    void newlineIndent(size_t depth);
+
+    FILE *out_ = nullptr;    //!< null = string sink
+    std::string buf_;
+    bool pretty_;
+    bool done_ = false;      //!< top-level value finished
+    bool havePendingKey_ = false;
+    std::vector<Frame> stack_;
+    std::vector<int> counts_;  //!< members written per open container
+};
+
+} // namespace forms::obs
+
+#endif // FORMS_OBS_JSON_WRITER_HH

@@ -1,0 +1,79 @@
+#include "obs/metrics.hh"
+
+namespace forms::obs {
+
+void
+HistogramStats::observe(double v)
+{
+    if (count == 0) {
+        min = v;
+        max = v;
+    } else {
+        if (v < min)
+            min = v;
+        if (v > max)
+            max = v;
+    }
+    ++count;
+    sum += v;
+}
+
+void
+MetricsRegistry::counterAdd(const std::string &name, uint64_t delta)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    counters_[name] += delta;
+}
+
+void
+MetricsRegistry::gaugeSet(const std::string &name, double v)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    gauges_[name] = v;
+}
+
+void
+MetricsRegistry::histObserve(const std::string &name, double v)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    histograms_[name].observe(v);
+}
+
+MetricsRegistry::Snapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    Snapshot snap;
+    snap.counters.assign(counters_.begin(), counters_.end());
+    snap.gauges.assign(gauges_.begin(), gauges_.end());
+    snap.histograms.assign(histograms_.begin(), histograms_.end());
+    return snap;
+}
+
+void
+MetricsRegistry::writeJson(JsonWriter &w) const
+{
+    const Snapshot snap = snapshot();
+    w.beginObject();
+    w.key("counters").beginObject();
+    for (const auto &[name, v] : snap.counters)
+        w.field(name, v);
+    w.endObject();
+    w.key("gauges").beginObject();
+    for (const auto &[name, v] : snap.gauges)
+        w.field(name, v);
+    w.endObject();
+    w.key("histograms").beginObject();
+    for (const auto &[name, h] : snap.histograms) {
+        w.key(name).beginObject();
+        w.field("count", h.count);
+        w.field("sum", h.sum);
+        w.field("min", h.min);
+        w.field("max", h.max);
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+}
+
+} // namespace forms::obs

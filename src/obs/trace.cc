@@ -1,0 +1,312 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.hh"
+
+namespace forms::obs {
+
+namespace {
+
+/** The one installed session (null = tracing disabled). */
+std::atomic<TraceSession *> g_active{nullptr};
+
+/** Session ids are never reused, so a stale thread-local cache entry
+ *  from a destroyed session can never match a live one. */
+std::atomic<uint64_t> g_nextSessionId{1};
+
+int64_t
+steadyNowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+TraceSession *
+activeTrace()
+{
+    return g_active.load(std::memory_order_relaxed);
+}
+
+TraceSession::TraceSession()
+    : id_(g_nextSessionId.fetch_add(1)), epochNs_(steadyNowNs())
+{
+}
+
+TraceSession::~TraceSession()
+{
+    if (activeTrace() == this)
+        uninstall();
+}
+
+void
+TraceSession::install()
+{
+    TraceSession *expected = nullptr;
+    FORMS_ASSERT(g_active.compare_exchange_strong(expected, this),
+                 "TraceSession::install: another session is active");
+}
+
+void
+TraceSession::uninstall()
+{
+    TraceSession *expected = this;
+    g_active.compare_exchange_strong(expected, nullptr);
+}
+
+void
+TraceSession::nameProcess(int pid, const std::string &name)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    processNames_[pid] = name;
+}
+
+void
+TraceSession::nameThread(int pid, int tid, const std::string &name)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    threadNames_[{pid, tid}] = name;
+}
+
+void
+TraceSession::slice(int pid, int tid, std::string name, std::string cat,
+                    double tsUs, double durUs, std::vector<TraceArg> args)
+{
+    TraceEvent ev;
+    ev.type = TraceEvent::Type::Complete;
+    ev.name = std::move(name);
+    ev.cat = std::move(cat);
+    ev.pid = pid;
+    ev.tid = tid;
+    ev.tsUs = tsUs;
+    ev.durUs = durUs;
+    ev.args = std::move(args);
+    std::lock_guard<std::mutex> lk(mu_);
+    events_.push_back(std::move(ev));
+}
+
+void
+TraceSession::flow(int fromPid, int fromTid, double tsFromUs, int toPid,
+                   int toTid, double tsToUs, std::string name,
+                   std::string cat, std::vector<TraceArg> args)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    const uint64_t id = nextFlowId_++;
+
+    TraceEvent start;
+    start.type = TraceEvent::Type::FlowStart;
+    start.name = name;
+    start.cat = cat;
+    start.pid = fromPid;
+    start.tid = fromTid;
+    start.tsUs = tsFromUs;
+    start.flowId = id;
+    start.args = args;
+    events_.push_back(std::move(start));
+
+    TraceEvent end;
+    end.type = TraceEvent::Type::FlowEnd;
+    end.name = std::move(name);
+    end.cat = std::move(cat);
+    end.pid = toPid;
+    end.tid = toTid;
+    end.tsUs = tsToUs;
+    end.flowId = id;
+    end.args = std::move(args);
+    events_.push_back(std::move(end));
+}
+
+int64_t
+TraceSession::nowNs() const
+{
+    return steadyNowNs() - epochNs_;
+}
+
+TraceSession::ThreadBuf *
+TraceSession::threadBuf()
+{
+    // The cache is keyed by the session's unique id: after a session
+    // is destroyed its id never recurs, so a stale entry can only
+    // mismatch (and be replaced), never dangle into a dead buffer.
+    thread_local uint64_t cachedId = 0;
+    thread_local ThreadBuf *cachedBuf = nullptr;
+    if (cachedId != id_) {
+        auto buf = std::make_shared<ThreadBuf>();
+        cachedBuf = buf.get();
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            threadBufs_.push_back(std::move(buf));
+        }
+        cachedId = id_;
+    }
+    return cachedBuf;
+}
+
+void
+TraceSession::recordHostSpan(std::string name, int64_t startNs,
+                             int64_t endNs)
+{
+    // Only the owning thread ever appends to its buffer; the session
+    // keeps the buffer alive (shared_ptr) past thread exit.
+    threadBuf()->spans.push_back(
+        HostSpan{std::move(name), startNs, endNs});
+}
+
+void
+TraceSession::flush()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+
+    struct Pending
+    {
+        HostSpan span;
+        int tid;
+    };
+    std::vector<Pending> pending;
+    bool anySpans = false;
+    for (size_t i = 0; i < threadBufs_.size(); ++i) {
+        ThreadBuf &buf = *threadBufs_[i];
+        if (!buf.spans.empty())
+            anySpans = true;
+        const int tid = static_cast<int>(i) + 1;
+        for (HostSpan &s : buf.spans)
+            pending.push_back(Pending{std::move(s), tid});
+        buf.spans.clear();
+        threadNames_[{kHostPid, tid}] =
+            "host-" + std::to_string(i);
+    }
+    if (!pending.empty() || anySpans)
+        processNames_.emplace(kHostPid, "host (wall clock)");
+
+    // Deterministic merge order: by start, then longer-first so an
+    // enclosing span precedes its children, then name as tiebreak.
+    std::stable_sort(pending.begin(), pending.end(),
+                     [](const Pending &a, const Pending &b) {
+                         if (a.span.startNs != b.span.startNs)
+                             return a.span.startNs < b.span.startNs;
+                         if (a.span.endNs != b.span.endNs)
+                             return a.span.endNs > b.span.endNs;
+                         return a.span.name < b.span.name;
+                     });
+
+    for (Pending &p : pending) {
+        TraceEvent ev;
+        ev.type = TraceEvent::Type::Complete;
+        ev.name = std::move(p.span.name);
+        ev.cat = "host";
+        ev.pid = kHostPid;
+        ev.tid = p.tid;
+        ev.tsUs = static_cast<double>(p.span.startNs) / 1e3;
+        ev.durUs =
+            static_cast<double>(p.span.endNs - p.span.startNs) / 1e3;
+        events_.push_back(std::move(ev));
+    }
+}
+
+const std::vector<TraceEvent> &
+TraceSession::events()
+{
+    flush();
+    return events_;
+}
+
+namespace {
+
+void
+writeArgs(JsonWriter &w, const std::vector<TraceArg> &args)
+{
+    if (args.empty())
+        return;
+    w.key("args").beginObject();
+    for (const TraceArg &a : args) {
+        switch (a.kind) {
+        case TraceArg::Kind::Str: w.field(a.key, a.s); break;
+        case TraceArg::Kind::Num: w.field(a.key, a.d); break;
+        case TraceArg::Kind::UInt: w.field(a.key, a.u); break;
+        }
+    }
+    w.endObject();
+}
+
+} // namespace
+
+void
+TraceSession::writeJson(JsonWriter &w)
+{
+    flush();
+    std::lock_guard<std::mutex> lk(mu_);
+
+    w.beginObject();
+    w.field("displayTimeUnit", "ns");
+    w.key("traceEvents").beginArray();
+
+    for (const auto &[pid, name] : processNames_) {
+        w.beginObject();
+        w.field("name", "process_name");
+        w.field("ph", "M");
+        w.field("pid", pid);
+        w.key("args").beginObject().field("name", name).endObject();
+        w.endObject();
+        // Lower sort_index = higher in the Perfetto track list, so
+        // chips (pid order) display in ascending order.
+        w.beginObject();
+        w.field("name", "process_sort_index");
+        w.field("ph", "M");
+        w.field("pid", pid);
+        w.key("args").beginObject().field("sort_index", pid).endObject();
+        w.endObject();
+    }
+    for (const auto &[key, name] : threadNames_) {
+        w.beginObject();
+        w.field("name", "thread_name");
+        w.field("ph", "M");
+        w.field("pid", key.first);
+        w.field("tid", key.second);
+        w.key("args").beginObject().field("name", name).endObject();
+        w.endObject();
+    }
+
+    for (const TraceEvent &ev : events_) {
+        w.beginObject();
+        w.field("name", ev.name);
+        if (!ev.cat.empty())
+            w.field("cat", ev.cat);
+        switch (ev.type) {
+        case TraceEvent::Type::Complete:
+            w.field("ph", "X");
+            w.field("pid", ev.pid);
+            w.field("tid", ev.tid);
+            w.field("ts", ev.tsUs);
+            w.field("dur", ev.durUs);
+            break;
+        case TraceEvent::Type::FlowStart:
+            w.field("ph", "s");
+            w.field("pid", ev.pid);
+            w.field("tid", ev.tid);
+            w.field("ts", ev.tsUs);
+            w.field("id", ev.flowId);
+            break;
+        case TraceEvent::Type::FlowEnd:
+            w.field("ph", "f");
+            // Bind to the enclosing slice so the arrow head attaches
+            // to the consuming stage slice, not a bare timestamp.
+            w.field("bp", "e");
+            w.field("pid", ev.pid);
+            w.field("tid", ev.tid);
+            w.field("ts", ev.tsUs);
+            w.field("id", ev.flowId);
+            break;
+        }
+        writeArgs(w, ev.args);
+        w.endObject();
+    }
+
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace forms::obs

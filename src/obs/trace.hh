@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Chrome-trace-event / Perfetto trace sessions.
+ *
+ * One TraceSession collects two kinds of events and serializes them
+ * as the JSON trace-event format that both chrome://tracing and
+ * ui.perfetto.dev load directly:
+ *
+ *   - **Modeled-timeline slices** pushed explicitly by an emitter
+ *     (PipelineRuntime reconstructs its per-chip stage/micro-batch
+ *     timeline and quant/ADC sub-phases from the same `done[s][m]`
+ *     recurrence that produces PipelineReport, so trace durations sum
+ *     to ChipReport::busyNs exactly). These use slice()/flow() with
+ *     caller-chosen track ids; timestamps are modeled nanoseconds
+ *     from zero, not wall time.
+ *   - **Wall-clock host spans** recorded by FORMS_TRACE_SCOPE around
+ *     real work (compile passes, calibration, engine programming,
+ *     per-node execution). Spans land in thread-local buffers — no
+ *     lock, no allocation on the hot path beyond the span itself —
+ *     and are merged in a deterministic order (start, duration
+ *     descending, name) at flush().
+ *
+ * Zero overhead when disabled: FORMS_TRACE_SCOPE costs one relaxed
+ * atomic load when no session is installed, and the macro's argument
+ * is not evaluated. The observer invariant (DESIGN.md / the
+ * determinism table) is that installing a session changes *nothing*
+ * about computation — logits and EngineStats stay bit-identical —
+ * which tests/test_cross_runtime_fuzz.cc enforces with a trace-on
+ * axis.
+ *
+ * Track model: `pid` groups tracks into a named process (one per
+ * chip, plus one for the host), `tid` is a named track within it.
+ * Modeled and wall-clock events share one trace but never one pid,
+ * so the two timebases cannot be misread as comparable.
+ */
+
+#ifndef FORMS_OBS_TRACE_HH
+#define FORMS_OBS_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json_writer.hh"
+
+namespace forms::obs {
+
+/** One slice/flow argument (shows in the Perfetto details pane). */
+struct TraceArg
+{
+    enum class Kind { Str, Num, UInt };
+
+    std::string key;
+    Kind kind;
+    std::string s;
+    double d = 0.0;
+    uint64_t u = 0;
+
+    TraceArg(std::string k, std::string v)
+        : key(std::move(k)), kind(Kind::Str), s(std::move(v)) {}
+    TraceArg(std::string k, const char *v)
+        : key(std::move(k)), kind(Kind::Str), s(v) {}
+    TraceArg(std::string k, double v)
+        : key(std::move(k)), kind(Kind::Num), d(v) {}
+    TraceArg(std::string k, uint64_t v)
+        : key(std::move(k)), kind(Kind::UInt), u(v) {}
+    TraceArg(std::string k, int v)
+        : key(std::move(k)), kind(Kind::Num), d(v) {}
+};
+
+/** One trace event, in trace-event-format terms. */
+struct TraceEvent
+{
+    enum class Type {
+        Complete,   //!< ph "X": a slice with ts + dur
+        FlowStart,  //!< ph "s": flow arrow tail (inside a slice)
+        FlowEnd,    //!< ph "f" (bp "e"): flow arrow head
+    };
+
+    Type type = Type::Complete;
+    std::string name;
+    std::string cat;
+    int pid = 0;
+    int tid = 0;
+    double tsUs = 0.0;   //!< microseconds (modeled or wall, per pid)
+    double durUs = 0.0;  //!< Complete only
+    uint64_t flowId = 0; //!< FlowStart/FlowEnd only
+    std::vector<TraceArg> args;
+};
+
+class TraceSession;
+
+/** Active session, or null. One relaxed load; safe from any thread. */
+TraceSession *activeTrace();
+
+/** True when a session is installed (the FORMS_TRACE_SCOPE gate). */
+inline bool
+traceEnabled()
+{
+    return activeTrace() != nullptr;
+}
+
+/** Collects trace events; serializes Perfetto-loadable JSON. */
+class TraceSession
+{
+  public:
+    TraceSession();
+    ~TraceSession();
+
+    TraceSession(const TraceSession &) = delete;
+    TraceSession &operator=(const TraceSession &) = delete;
+
+    /**
+     * Make this the process-wide session FORMS_TRACE_SCOPE records
+     * into. Panics if another session is installed. Must be
+     * uninstalled (or destroyed, which uninstalls) before another
+     * session may install. Destroying while worker threads are still
+     * inside traced scopes is a caller bug.
+     */
+    void install();
+    void uninstall();
+
+    // ---- track naming --------------------------------------------------
+    void nameProcess(int pid, const std::string &name);
+    void nameThread(int pid, int tid, const std::string &name);
+
+    // ---- modeled-timeline events ----------------------------------------
+    /** Complete slice on (pid, tid); times in microseconds. */
+    void slice(int pid, int tid, std::string name, std::string cat,
+               double tsUs, double durUs, std::vector<TraceArg> args = {});
+
+    /**
+     * Flow arrow from (fromPid, fromTid) at tsFromUs to
+     * (toPid, toTid) at tsToUs. Arrows bind to the slices enclosing
+     * each endpoint, so emit the endpoints inside real slices.
+     */
+    void flow(int fromPid, int fromTid, double tsFromUs, int toPid,
+              int toTid, double tsToUs, std::string name,
+              std::string cat, std::vector<TraceArg> args = {});
+
+    // ---- wall-clock host spans (FORMS_TRACE_SCOPE backend) --------------
+    /** Monotonic wall clock, ns since session construction. */
+    int64_t nowNs() const;
+
+    /** Record one host span (thread-local buffer; no lock). */
+    void recordHostSpan(std::string name, int64_t startNs, int64_t endNs);
+
+    /** pid used for wall-clock host tracks. */
+    static constexpr int kHostPid = 0;
+
+    // ---- output ----------------------------------------------------------
+    /**
+     * Drain thread-local host-span buffers into the event list in
+     * deterministic order (start, duration descending, name), naming
+     * one host track per recording thread. Idempotent; called by
+     * writeJson()/events(). Not safe concurrent with recording.
+     */
+    void flush();
+
+    /** All slice/flow events (metadata excluded). Flushes first. */
+    const std::vector<TraceEvent> &events();
+
+    /** Serialize the full trace document. Flushes first. */
+    void writeJson(JsonWriter &w);
+
+  private:
+    struct HostSpan
+    {
+        std::string name;
+        int64_t startNs;
+        int64_t endNs;
+    };
+
+    struct ThreadBuf
+    {
+        std::vector<HostSpan> spans;
+    };
+
+    ThreadBuf *threadBuf();
+
+    const uint64_t id_;         //!< unique per session, never reused
+    const int64_t epochNs_;     //!< wall-clock zero point
+    std::mutex mu_;             //!< guards everything below
+    std::vector<TraceEvent> events_;
+    std::map<int, std::string> processNames_;
+    std::map<std::pair<int, int>, std::string> threadNames_;
+    std::vector<std::shared_ptr<ThreadBuf>> threadBufs_;
+    uint64_t nextFlowId_ = 1;
+};
+
+/**
+ * RAII wall-clock span. When no session is installed at construction
+ * the scope is inert (one relaxed load); otherwise the span is
+ * recorded into the constructing session at destruction even if the
+ * session was uninstalled in between (it must still be alive).
+ */
+class TraceScope
+{
+  public:
+    explicit TraceScope(const char *name)
+    {
+        if (TraceSession *s = activeTrace()) {
+            session_ = s;
+            name_ = name;
+            startNs_ = s->nowNs();
+        }
+    }
+
+    explicit TraceScope(std::string name)
+    {
+        if (TraceSession *s = activeTrace()) {
+            session_ = s;
+            name_ = std::move(name);
+            startNs_ = s->nowNs();
+        }
+    }
+
+    ~TraceScope()
+    {
+        if (session_)
+            session_->recordHostSpan(std::move(name_), startNs_,
+                                     session_->nowNs());
+    }
+
+    TraceScope(const TraceScope &) = delete;
+    TraceScope &operator=(const TraceScope &) = delete;
+
+  private:
+    TraceSession *session_ = nullptr;
+    std::string name_;
+    int64_t startNs_ = 0;
+};
+
+// Two-level paste so __LINE__ expands before concatenation.
+#define FORMS_TRACE_CAT2(a, b) a##b
+#define FORMS_TRACE_CAT(a, b) FORMS_TRACE_CAT2(a, b)
+
+/**
+ * Wall-clock span covering the rest of the enclosing scope. `name`
+ * should be a string literal — it is evaluated even when tracing is
+ * disabled, so it must be free. For dynamic names, gate on
+ * traceEnabled() and construct a TraceScope(std::string) directly so
+ * the string is only built when a session is live.
+ */
+#define FORMS_TRACE_SCOPE(name) \
+    ::forms::obs::TraceScope FORMS_TRACE_CAT(forms_trace_scope_, \
+                                             __LINE__)(name)
+
+} // namespace forms::obs
+
+#endif // FORMS_OBS_TRACE_HH

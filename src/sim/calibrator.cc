@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.hh"
+
 namespace forms::sim {
 
 const char *
@@ -37,6 +39,7 @@ Calibrator::~Calibrator() = default;
 void
 Calibrator::observe(const Tensor &batch)
 {
+    FORMS_TRACE_SCOPE("Calibrator::observe");
     runtime_->forward(batch);
     images_ += batch.dim(0);
 }
@@ -44,6 +47,7 @@ Calibrator::observe(const Tensor &batch)
 compile::CalibrationTable
 Calibrator::table() const
 {
+    FORMS_TRACE_SCOPE("Calibrator::table");
     FORMS_ASSERT(images_ > 0,
                  "calibrator: table() before any observe() call");
     const uint32_t qmax = (1u << inputBits_) - 1;

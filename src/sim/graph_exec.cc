@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "nn/layers.hh"
+#include "obs/trace.hh"
 #include "tensor/ops.hh"
 
 namespace forms::sim {
@@ -21,6 +22,10 @@ programReplicas(NodeExec &e, int id, admm::LayerState &st,
                 const RuntimeConfig &cfg,
                 std::vector<arch::EnginePool> &pools)
 {
+    // Dynamic span name, so only built when a session is live (the
+    // FORMS_TRACE_SCOPE macro would pay the concatenation always).
+    obs::TraceScope trace_scope(
+        obs::traceEnabled() ? "program " + e.name : std::string());
     // One mapping serves every replica — the quantize-and-map result
     // is a pure function of (state, config).
     const arch::MappedLayer mapped = arch::mapLayer(st, cfg.mapping);
@@ -42,6 +47,7 @@ buildNodeExecs(const compile::Graph &g, const std::vector<int> &topo,
                std::vector<arch::EnginePool> &pools,
                const std::function<std::vector<int>(int)> &chips_of)
 {
+    FORMS_TRACE_SCOPE("sim::buildNodeExecs");
     std::vector<NodeExec> execs;
     execs.reserve(topo.size());
     for (int id : topo) {
@@ -159,6 +165,11 @@ runGraph(const compile::Graph &g, std::vector<NodeExec> &execs,
 
     for (size_t idx = 0; idx < execs.size(); ++idx) {
         NodeExec &e = execs[idx];
+        // Wall-clock span per node; the dynamic name is only built
+        // when a trace session is live, and recording touches nothing
+        // the computation reads (the observer invariant).
+        obs::TraceScope node_scope(
+            obs::traceEnabled() ? "node " + e.name : std::string());
         Slot &out = slots[static_cast<size_t>(e.nodeId)];
         auto in = [&](size_t i) -> const Tensor & {
             return *slots[static_cast<size_t>(e.inputs[i])].ref;

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/trace.hh"
+#include "sim/obs_glue.hh"
 #include "sim/stage_kernels.hh"
 
 namespace forms::sim {
@@ -67,6 +69,7 @@ GraphRuntime::resetPresentationStreams()
 Tensor
 GraphRuntime::forward(const Tensor &batch, RuntimeReport *report)
 {
+    FORMS_TRACE_SCOPE("GraphRuntime::forward");
     const auto t0 = std::chrono::steady_clock::now();
     ThreadPool &tp = pool();
     // Route the shared tensor kernels (relu, pooling, im2col) through
@@ -77,10 +80,20 @@ GraphRuntime::forward(const Tensor &batch, RuntimeReport *report)
     Tensor result = runGraph(graph_, execs_, batch, tp,
                              cfg_.mapping.inputBits, node_stats);
 
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+        std::chrono::steady_clock::now() - t0).count();
     if (report) {
         recordNodeRows(execs_, node_stats, *report);
-        report->wallMs += std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - t0).count();
+        report->wallMs += wall_ms;
+    }
+    if (cfg_.metrics) {
+        // Record this forward alone (a fresh report), so the metric
+        // counters accumulate per-call deltas regardless of whether
+        // the caller reuses its report across forwards.
+        RuntimeReport mrep;
+        recordNodeRows(execs_, node_stats, mrep);
+        mrep.wallMs = wall_ms;
+        recordRuntimeMetrics(*cfg_.metrics, mrep);
     }
     return result;
 }

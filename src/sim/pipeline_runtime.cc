@@ -3,6 +3,8 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/trace.hh"
+#include "sim/obs_glue.hh"
 #include "sim/stage_kernels.hh"
 
 namespace forms::sim {
@@ -58,6 +60,7 @@ PipelineRuntime::resetPresentationStreams()
 Tensor
 PipelineRuntime::forward(const Tensor &batch, PipelineReport *report)
 {
+    FORMS_TRACE_SCOPE("PipelineRuntime::forward");
     const auto t0 = std::chrono::steady_clock::now();
     ThreadPool &tp = pool();
     PoolScope scope(tp);
@@ -123,11 +126,21 @@ PipelineRuntime::forward(const Tensor &batch, PipelineReport *report)
         row += part.dim(0);
     }
 
-    if (report) {
+    // The modeled timeline feeds three consumers: the caller's
+    // report, the trace session (per-chip slices) and the metrics
+    // sink. Build it into a local report when only an observer asked
+    // — observers are pure, so skipping all of this when nobody is
+    // looking changes nothing about the computation above.
+    PipelineReport local_report;
+    PipelineReport *rep = report;
+    if (!rep && (cfg_.trace || cfg_.runtime.metrics))
+        rep = &local_report;
+
+    if (rep) {
         // Per-node rows in topological order — same names, order and
         // merged stats as a GraphRuntime forward of the whole batch.
-        recordNodeRows(execs_, node_stats, report->nodes);
-        report->nodes.wallMs +=
+        recordNodeRows(execs_, node_stats, rep->nodes);
+        rep->nodes.wallMs +=
             std::chrono::duration<double, std::milli>(
                 std::chrono::steady_clock::now() - t0).count();
 
@@ -176,6 +189,11 @@ PipelineRuntime::forward(const Tensor &batch, PipelineReport *report)
         std::vector<std::vector<double>> done(
             static_cast<size_t>(n_stages),
             std::vector<double>(static_cast<size_t>(num_mb), 0.0));
+        // Stage busy per (stage, micro-batch): kept for the trace
+        // emitter, whose slice starts are done - stage_busy.
+        std::vector<std::vector<double>> stage_busy_sm(
+            static_cast<size_t>(n_stages),
+            std::vector<double>(static_cast<size_t>(num_mb), 0.0));
         for (int s = 0; s < n_stages; ++s) {
             const int first = sched_.stageFirstChip(s);
             const int width = sched_.stageWidth(s);
@@ -185,6 +203,8 @@ PipelineRuntime::forward(const Tensor &batch, PipelineReport *report)
                     stage_busy = std::max(
                         stage_busy, busy[static_cast<size_t>(c)]
                                         [static_cast<size_t>(m)]);
+                stage_busy_sm[static_cast<size_t>(s)]
+                             [static_cast<size_t>(m)] = stage_busy;
                 const double arrive =
                     (s > 0 ? done[static_cast<size_t>(s) - 1]
                                  [static_cast<size_t>(m)] : 0.0) +
@@ -201,7 +221,7 @@ PipelineRuntime::forward(const Tensor &batch, PipelineReport *report)
             done[static_cast<size_t>(n_stages) - 1]
                 [static_cast<size_t>(num_mb) - 1];
 
-        report->chips.clear();
+        rep->chips.clear();
         double total_busy = 0.0, total_xfer_ns = 0.0, total_xfer_pj = 0.0;
         for (int s = 0; s < n_stages; ++s) {
             const int first = sched_.stageFirstChip(s);
@@ -251,21 +271,166 @@ PipelineRuntime::forward(const Tensor &batch, PipelineReport *report)
                 total_busy += c.busyNs;
                 total_xfer_ns += c.transferInNs;
                 total_xfer_pj += c.transferInPj;
-                report->chips.push_back(std::move(c));
+                rep->chips.push_back(std::move(c));
             }
         }
-        report->stages = n_stages;
-        report->microBatches = num_mb;
-        report->images = images;
-        report->makespanNs = makespan;
-        report->bubbleFraction = makespan > 0.0
+        rep->stages = n_stages;
+        rep->microBatches = num_mb;
+        rep->images = images;
+        rep->makespanNs = makespan;
+        rep->bubbleFraction = makespan > 0.0
             ? 1.0 - total_busy / (static_cast<double>(n_chips) * makespan)
             : 0.0;
-        report->transferNs = total_xfer_ns;
-        report->transferPj = total_xfer_pj;
-        report->overlapSavedNs = overlap_saved;
+        rep->transferNs = total_xfer_ns;
+        rep->transferPj = total_xfer_pj;
+        rep->overlapSavedNs = overlap_saved;
+
+        if (cfg_.trace) {
+            emitTrace(*cfg_.trace, phases, busy, stage_busy_sm, done,
+                      mb, images);
+        }
+        if (cfg_.runtime.metrics)
+            recordPipelineMetrics(*cfg_.runtime.metrics, *rep);
     }
     return result;
+}
+
+/**
+ * Reconstruct the modeled multi-chip timeline into `tr`, from the
+ * same per-(chip, micro-batch) PhaseIntervals and done[s][m]
+ * recurrence that produced the report. Purely an observer — reads
+ * the model, never touches engines or tensors.
+ *
+ * Track layout: one trace "process" per chip (pid = chip + 1; pid 0
+ * is reserved for wall-clock host spans). Track 1 carries the
+ * per-(stage, micro-batch) busy slice whose durations sum exactly to
+ * ChipReport::busyNs; tracks 2 and 3 carry the quant and ADC
+ * sub-phases, placed by the same two-phase recurrence as
+ * sim::chipBusyNs (with overlap, node k's ADC phase and node k+1's
+ * quantization start together and the next segment opens when both
+ * finish). Inter-stage Transfer records become flow arrows from the
+ * producing stage's completion to the consuming stage's slice start.
+ * Timestamps are modeled nanoseconds from zero, emitted in trace-us.
+ */
+void
+PipelineRuntime::emitTrace(
+    obs::TraceSession &tr,
+    const std::vector<std::vector<std::vector<PhaseInterval>>> &phases,
+    const std::vector<std::vector<double>> &busy,
+    const std::vector<std::vector<double>> &stage_busy_sm,
+    const std::vector<std::vector<double>> &done, int64_t mb,
+    int64_t images) const
+{
+    const int n_chips = sched_.chips();
+    const int n_stages = sched_.stages();
+    const int num_mb = static_cast<int>(done.empty()
+        ? 0 : done[0].size());
+
+    for (int c = 0; c < n_chips; ++c) {
+        const int pid = c + 1;
+        tr.nameProcess(pid, strfmt("chip %d (modeled)", c));
+        tr.nameThread(pid, 1, "stage");
+        tr.nameThread(pid, 2, "quant phase");
+        tr.nameThread(pid, 3, "adc phase");
+    }
+
+    // Hosted programmed-node names per chip, in the order the
+    // PhaseSink pushed their PhaseIntervals: nodes execute in
+    // topological order and each hosting chip receives exactly one
+    // interval per node per micro-batch.
+    std::vector<std::vector<const char *>> chip_names(
+        static_cast<size_t>(n_chips));
+    for (const NodeExec &e : execs_) {
+        if (!e.engine)
+            continue;
+        for (int c : e.replicaChips)
+            chip_names[static_cast<size_t>(c)].push_back(e.name.c_str());
+    }
+
+    for (int s = 0; s < n_stages; ++s) {
+        const int first = sched_.stageFirstChip(s);
+        const int width = sched_.stageWidth(s);
+        for (int m = 0; m < num_mb; ++m) {
+            const double start_ns =
+                done[static_cast<size_t>(s)][static_cast<size_t>(m)] -
+                stage_busy_sm[static_cast<size_t>(s)]
+                             [static_cast<size_t>(m)];
+            for (int c = first; c < first + width; ++c) {
+                const int pid = c + 1;
+                const double busy_ns =
+                    busy[static_cast<size_t>(c)][static_cast<size_t>(m)];
+                tr.slice(pid, 1, strfmt("s%d/mb%d", s, m), "stage",
+                         start_ns / 1e3, busy_ns / 1e3,
+                         {{"stage", s},
+                          {"micro_batch", m},
+                          {"chip", c},
+                          {"busy_ns", busy_ns}});
+
+                const auto &ph = phases[static_cast<size_t>(c)]
+                                       [static_cast<size_t>(m)];
+                const auto &names = chip_names[static_cast<size_t>(c)];
+                if (ph.empty())
+                    continue;
+                double t = start_ns;
+                if (cfg_.tile.overlap) {
+                    // Mirror of chipBusyNs: q1 runs alone, then adc_k
+                    // and quant_{k+1} start together; the segment
+                    // closes when the slower of the two finishes.
+                    tr.slice(pid, 2, names[0], "quant", t / 1e3,
+                             ph[0].quantNs / 1e3);
+                    t += ph[0].quantNs;
+                    for (size_t k = 0; k < ph.size(); ++k) {
+                        tr.slice(pid, 3, names[k], "adc", t / 1e3,
+                                 ph[k].computeNs / 1e3);
+                        if (k + 1 < ph.size()) {
+                            tr.slice(pid, 2, names[k + 1], "quant",
+                                     t / 1e3, ph[k + 1].quantNs / 1e3);
+                            t += std::max(ph[k].computeNs,
+                                          ph[k + 1].quantNs);
+                        } else {
+                            t += ph[k].computeNs;
+                        }
+                    }
+                } else {
+                    for (size_t k = 0; k < ph.size(); ++k) {
+                        tr.slice(pid, 2, names[k], "quant", t / 1e3,
+                                 ph[k].quantNs / 1e3);
+                        t += ph[k].quantNs;
+                        tr.slice(pid, 3, names[k], "adc", t / 1e3,
+                                 ph[k].computeNs / 1e3);
+                        t += ph[k].computeNs;
+                    }
+                }
+            }
+        }
+    }
+
+    // Inter-stage transfers as flow arrows: tail at the producing
+    // stage's completion of micro-batch m (the end of its primary
+    // chip's slice), head at the consuming stage's slice start.
+    for (const compile::Transfer &t : sched_.transfers()) {
+        const int from_pid = sched_.stageFirstChip(t.fromStage) + 1;
+        const int to_pid = sched_.stageFirstChip(t.toStage) + 1;
+        const std::string &producer = graph_.node(t.producer).name;
+        for (int m = 0; m < num_mb; ++m) {
+            const int64_t count = std::min(
+                mb, images - static_cast<int64_t>(m) * mb);
+            const int64_t bytes = t.bytesPerSample * count;
+            const double from_ns =
+                done[static_cast<size_t>(t.fromStage)]
+                    [static_cast<size_t>(m)];
+            const double to_ns =
+                done[static_cast<size_t>(t.toStage)]
+                    [static_cast<size_t>(m)] -
+                stage_busy_sm[static_cast<size_t>(t.toStage)]
+                             [static_cast<size_t>(m)];
+            tr.flow(from_pid, 1, from_ns / 1e3, to_pid, 1, to_ns / 1e3,
+                    producer, "transfer",
+                    {{"bytes", static_cast<uint64_t>(bytes)},
+                     {"transfer_ns", cfg_.link.transferNs(bytes)},
+                     {"merge_replicas", t.mergeReplicas ? 1 : 0}});
+        }
+    }
 }
 
 double

@@ -76,6 +76,10 @@
 #include "sim/perf_model.hh"
 #include "sim/runtime.hh"
 
+namespace forms::obs {
+class TraceSession;
+} // namespace forms::obs
+
 namespace forms::sim {
 
 /** Pipelined runtime construction knobs. */
@@ -85,6 +89,16 @@ struct PipelineRuntimeConfig
     int microBatch = 1;     //!< images per pipeline micro-batch
     InterChipLink link;     //!< inter-chip transfer cost model
     TilePipeline tile;      //!< intra-chip phase-overlap timing model
+
+    /**
+     * Trace sink (borrowed, may be null). When set, each forward()
+     * reconstructs the modeled multi-chip timeline — per-chip
+     * stage/micro-batch slices, quant/ADC sub-phases, transfer flow
+     * arrows — into the session (docs/OBSERVABILITY.md). A pure
+     * observer: logits and EngineStats are bit-identical with or
+     * without it.
+     */
+    obs::TraceSession *trace = nullptr;
 };
 
 /** One chip's slice of a pipeline report. */
@@ -212,6 +226,16 @@ class PipelineRuntime
     PipelineRuntimeConfig cfg_;
 
     ThreadPool &pool() const;
+
+    /** Reconstruct the modeled timeline into a trace session. */
+    void emitTrace(
+        obs::TraceSession &tr,
+        const std::vector<std::vector<std::vector<PhaseInterval>>>
+            &phases,
+        const std::vector<std::vector<double>> &busy,
+        const std::vector<std::vector<double>> &stage_busy_sm,
+        const std::vector<std::vector<double>> &done, int64_t mb,
+        int64_t images) const;
 };
 
 } // namespace forms::sim

@@ -3,6 +3,8 @@
 #include <chrono>
 
 #include "nn/layers.hh"
+#include "obs/trace.hh"
+#include "sim/obs_glue.hh"
 #include "sim/stage_kernels.hh"
 #include "tensor/ops.hh"
 
@@ -163,6 +165,7 @@ InferenceRuntime::resetPresentationStreams()
 Tensor
 InferenceRuntime::forward(const Tensor &batch, RuntimeReport *report)
 {
+    FORMS_TRACE_SCOPE("InferenceRuntime::forward");
     const auto t0 = std::chrono::steady_clock::now();
     ThreadPool &tp = pool();
     // Route the shared tensor kernels (relu, pooling, im2col) through
@@ -170,6 +173,13 @@ InferenceRuntime::forward(const Tensor &batch, RuntimeReport *report)
     PoolScope scope(tp);
     const int in_bits = cfg_.mapping.inputBits;
     size_t programmed_idx = 0;
+
+    // When only the metrics sink wants the per-layer rows, collect
+    // them into a local report — a pure observer on top of the same
+    // execution.
+    RuntimeReport local_report;
+    RuntimeReport *rep =
+        report ? report : (cfg_.metrics ? &local_report : nullptr);
 
     // The current activation is tracked by pointer until the first
     // stage produces its own tensor: stages only read their input, so
@@ -199,8 +209,8 @@ InferenceRuntime::forward(const Tensor &batch, RuntimeReport *report)
                             s.mapped, s.bias, {}, s.outC, s.k, s.stride,
                             s.pad, in_bits, s.scale, tp, &st,
                             &s.im2colScratch);
-            if (report) {
-                recordLayer(*report, programmed_idx, s.name, st,
+            if (rep) {
+                recordLayer(*rep, programmed_idx, s.name, st,
                             s.mapped.numCrossbars(), st.presentations);
             }
             ++programmed_idx;
@@ -211,8 +221,8 @@ InferenceRuntime::forward(const Tensor &batch, RuntimeReport *report)
             cur = denseStage(*act, StageEngines{{s.engine.get()}, {}},
                              s.mapped, s.bias, s.outC, in_bits, s.scale,
                              tp, &st);
-            if (report) {
-                recordLayer(*report, programmed_idx, s.name, st,
+            if (rep) {
+                recordLayer(*rep, programmed_idx, s.name, st,
                             s.mapped.numCrossbars(), st.presentations);
             }
             ++programmed_idx;
@@ -224,10 +234,12 @@ InferenceRuntime::forward(const Tensor &batch, RuntimeReport *report)
     if (act != &cur)
         cur = *act;   // no stages at all: pass the batch through
 
-    if (report) {
-        report->wallMs += std::chrono::duration<double, std::milli>(
+    if (rep) {
+        rep->wallMs += std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - t0).count();
     }
+    if (cfg_.metrics)
+        recordRuntimeMetrics(*cfg_.metrics, *rep);
     return cur;
 }
 

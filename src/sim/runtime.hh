@@ -46,6 +46,10 @@ namespace forms::compile {
 class CalibrationTable;
 } // namespace forms::compile
 
+namespace forms::obs {
+class MetricsRegistry;
+} // namespace forms::obs
+
 namespace forms::sim {
 
 /**
@@ -81,6 +85,14 @@ struct RuntimeConfig
 
     /** Calibration observation sink (borrowed; null in normal runs). */
     RangeRecorder *recorder = nullptr;
+
+    /**
+     * Metrics sink (borrowed, may be null). When set, each forward()
+     * records its report aggregates through sim/obs_glue.hh — a pure
+     * observer: logits and EngineStats are bit-identical with or
+     * without it (docs/ARCHITECTURE.md determinism table).
+     */
+    obs::MetricsRegistry *metrics = nullptr;
 };
 
 /** Per-programmed-layer slice of a runtime report. */

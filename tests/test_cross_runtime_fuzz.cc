@@ -22,6 +22,8 @@
 #include "compile/passes.hh"
 #include "compile/schedule.hh"
 #include "nn/layers.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/calibrator.hh"
 #include "sim/graph_runtime.hh"
 #include "sim/pipeline_runtime.hh"
@@ -268,6 +270,37 @@ TEST(CrossRuntimeFuzz, GraphAndPipelineRuntimesAgreeBitwise)
                                  grep.layers[i].stats);
         }
         EXPECT_EQ(prep.nodes.presentations, grep.presentations);
+
+        // Observer axis: the same pipeline with a trace session and a
+        // metrics registry attached must produce bit-identical logits
+        // and per-node stats — installing observation changes nothing
+        // about the computation (docs/OBSERVABILITY.md).
+        if (g % 2 == 0 || stem_heavy) {
+            auto sched2 = compile::Schedule::partition(graph, scfg);
+            obs::TraceSession session;
+            session.install();
+            obs::MetricsRegistry metrics;
+            sim::PipelineRuntimeConfig ocfg = pcfg;
+            ocfg.trace = &session;
+            ocfg.runtime.metrics = &metrics;
+            sim::PipelineRuntime opr(graph, std::move(sched2), states,
+                                     ocfg);
+            sim::PipelineReport orep;
+            const Tensor observed = opr.forward(batch, &orep);
+            session.uninstall();
+
+            EXPECT_TRUE(observed.equals(got))
+                << "tracing perturbed the logits: chips=" << chips
+                << " microBatch=" << micro_batch;
+            ASSERT_EQ(orep.nodes.layers.size(),
+                      prep.nodes.layers.size());
+            for (size_t i = 0; i < prep.nodes.layers.size(); ++i)
+                expectStatsIdentical(orep.nodes.layers[i].stats,
+                                     prep.nodes.layers[i].stats);
+            // ...and the observers actually observed something.
+            EXPECT_FALSE(session.events().empty());
+            EXPECT_FALSE(metrics.snapshot().counters.empty());
+        }
     }
     // The generator must actually exercise the interesting paths.
     EXPECT_GE(residual_graphs, 5);
