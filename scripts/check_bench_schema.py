@@ -57,6 +57,16 @@ SCHEMAS = {
                   "delta_vs_idealized", "clip_fraction",
                   "table_entries"]),
     },
+    "BENCH_serving.json": {
+        "bench": "serving",
+        "keys": ["threads", "max_batch", "max_delay_us",
+                 "queue_capacity", "bit_identical", "knee_rps",
+                 "sweep"],
+        "list": ("sweep",
+                 ["offered_rps", "achieved_rps", "completed",
+                  "rejected", "p50_us", "p95_us", "p99_us",
+                  "mean_batch"]),
+    },
     "BENCH_kernels.json": {
         "bench": "micro_kernels",
         "keys": ["dispatch", "build", "bit_identical", "kernels"],

@@ -308,6 +308,41 @@ CrossbarEngine::mvmRange(const std::vector<std::vector<uint32_t>> &batch,
     return outs;
 }
 
+std::vector<std::vector<double>>
+CrossbarEngine::mvmKeyed(const std::vector<std::vector<uint32_t>> &batch,
+                         size_t lo, size_t hi, const uint64_t *keys,
+                         EngineStats *stats, EngineStats *per_out,
+                         ThreadPool *pool)
+{
+    FORMS_ASSERT(lo <= hi && hi <= batch.size(),
+                 "mvmKeyed: slice [%zu, %zu) outside batch of %zu", lo,
+                 hi, batch.size());
+    const size_t count = hi - lo;
+    std::vector<std::vector<double>> outs(count);
+    std::vector<EngineStats> per(count);
+    if (count == 0)
+        return outs;
+
+    ThreadPool &tp = pool ? *pool : ThreadPool::global();
+    tp.parallelFor(
+        0, static_cast<int64_t>(count), 1,
+        [&](int64_t i, int) {
+            const size_t s = static_cast<size_t>(i);
+            mvmOne(batch[lo + s], keys[lo + s], outs[s], per[s]);
+        });
+
+    // Same fold order as mvmRange: per-presentation stats merge in
+    // ascending presentation order, so a keyed run whose keys equal
+    // the engine-lifetime indices is bit-identical to mvmRange.
+    if (stats)
+        for (const auto &s : per)
+            stats->merge(s);
+    if (per_out)
+        for (size_t i = 0; i < count; ++i)
+            per_out[lo + i].merge(per[i]);
+    return outs;
+}
+
 std::vector<float>
 dequantizeOutputs(const std::vector<double> &raw, float w_scale,
                   float in_scale)

@@ -169,6 +169,28 @@ class CrossbarEngine
              size_t hi, EngineStats *stats = nullptr,
              ThreadPool *pool = nullptr);
 
+    /**
+     * Batched matrix-vector products over the slice [lo, hi) of
+     * `batch` with explicit per-presentation stream keys: presentation
+     * batch[j] draws its read-noise RNG from stream index keys[j] —
+     * the same (variationSeed, index) mix the implicit engine-lifetime
+     * stream uses — and the engine's presentation counter is neither
+     * read nor advanced. Two engines programmed from the same config
+     * therefore produce bit-identical outputs for the same key,
+     * regardless of what either engine executed before: the mechanism
+     * behind the serving layer's batch-invariance contract
+     * (docs/SERVING.md).
+     *
+     * Per-presentation stats merge into `stats` in ascending j order,
+     * exactly like mvmRange. When `per` is non-null it is an
+     * accumulator array parallel to `batch`: presentation j's stats
+     * additionally merge into per[j] — the per-request stats channel.
+     */
+    std::vector<std::vector<double>>
+    mvmKeyed(const std::vector<std::vector<uint32_t>> &batch, size_t lo,
+             size_t hi, const uint64_t *keys, EngineStats *stats = nullptr,
+             EngineStats *per = nullptr, ThreadPool *pool = nullptr);
+
     /** Restart the per-presentation RNG stream at index 0. */
     void resetPresentationStream() { nextPresentation_ = 0; }
 

@@ -1,0 +1,21 @@
+#include "serve/backends.hh"
+
+namespace forms::serve {
+
+Tensor
+GraphBackend::run(const Tensor &batch, const uint64_t *ids,
+                  std::vector<sim::RuntimeReport> &per_request)
+{
+    per_request.clear();
+    return rt_.forwardRequests(batch, ids, &per_request);
+}
+
+Tensor
+PipelineBackend::run(const Tensor &batch, const uint64_t *ids,
+                     std::vector<sim::RuntimeReport> &per_request)
+{
+    per_request.clear();
+    return rt_.forwardRequests(batch, ids, &per_request);
+}
+
+} // namespace forms::serve

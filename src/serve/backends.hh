@@ -1,0 +1,51 @@
+/**
+ * @file
+ * serve::Backend adapters over the offline executors.
+ *
+ * Both adapters borrow a constructed runtime and forward coalesced
+ * micro-batches through its request-keyed entry point
+ * (forwardRequests), which keys every per-presentation RNG stream by
+ * the stable request id — the mechanism behind the serving
+ * determinism contract (docs/SERVING.md). They are called only from
+ * the server's single batcher thread, matching the runtimes'
+ * one-forward-at-a-time requirement.
+ */
+
+#ifndef FORMS_SERVE_BACKENDS_HH
+#define FORMS_SERVE_BACKENDS_HH
+
+#include "serve/server.hh"
+#include "sim/graph_runtime.hh"
+#include "sim/pipeline_runtime.hh"
+
+namespace forms::serve {
+
+/** Serves batches on a single-chip sim::GraphRuntime. */
+class GraphBackend : public Backend
+{
+  public:
+    explicit GraphBackend(sim::GraphRuntime &rt) : rt_(rt) {}
+
+    Tensor run(const Tensor &batch, const uint64_t *ids,
+               std::vector<sim::RuntimeReport> &per_request) override;
+
+  private:
+    sim::GraphRuntime &rt_;
+};
+
+/** Serves batches on a multi-chip sim::PipelineRuntime. */
+class PipelineBackend : public Backend
+{
+  public:
+    explicit PipelineBackend(sim::PipelineRuntime &rt) : rt_(rt) {}
+
+    Tensor run(const Tensor &batch, const uint64_t *ids,
+               std::vector<sim::RuntimeReport> &per_request) override;
+
+  private:
+    sim::PipelineRuntime &rt_;
+};
+
+} // namespace forms::serve
+
+#endif // FORMS_SERVE_BACKENDS_HH

@@ -143,10 +143,13 @@ Tensor
 runGraph(const compile::Graph &g, std::vector<NodeExec> &execs,
          const Tensor &batch, ThreadPool &tp, int input_bits,
          std::vector<arch::EngineStats> &stats,
-         const PhaseSink &on_phase)
+         const PhaseSink &on_phase, const uint64_t *image_ids,
+         arch::EngineStats *per_image, int64_t per_image_stride)
 {
     FORMS_ASSERT(stats.size() == execs.size(),
                  "runGraph: stats accumulators must parallel execs");
+    FORMS_ASSERT(!per_image || image_ids,
+                 "runGraph: per-image stats require image ids");
 
     // Reference-counted value slots, indexed by node id. The input
     // node aliases the caller's batch; every other node owns its
@@ -181,6 +184,10 @@ runGraph(const compile::Graph &g, std::vector<NodeExec> &execs,
             break;
         case compile::Op::Conv: {
             StageEngines se{e.replicas, {}};
+            se.imageIds = image_ids;
+            if (per_image)
+                se.perImage =
+                    per_image + static_cast<int64_t>(idx) * per_image_stride;
             if (on_phase)
                 se.onPhase = [&on_phase, idx](int r, double dt,
                                               uint64_t qv) {
@@ -194,6 +201,10 @@ runGraph(const compile::Graph &g, std::vector<NodeExec> &execs,
         }
         case compile::Op::Dense: {
             StageEngines se{e.replicas, {}};
+            se.imageIds = image_ids;
+            if (per_image)
+                se.perImage =
+                    per_image + static_cast<int64_t>(idx) * per_image_stride;
             if (on_phase)
                 se.onPhase = [&on_phase, idx](int r, double dt,
                                               uint64_t qv) {
@@ -264,6 +275,29 @@ recordNodeRows(const std::vector<NodeExec> &execs,
         recordLayer(report, programmed_idx, e.name, stats[idx],
                     e.mapped->numCrossbars(), stats[idx].presentations);
         ++programmed_idx;
+    }
+}
+
+void
+recordPerImageRows(const std::vector<NodeExec> &execs,
+                   const arch::EngineStats *per_image, int64_t stride,
+                   int64_t images, std::vector<RuntimeReport> &reports)
+{
+    if (reports.size() < static_cast<size_t>(images))
+        reports.resize(static_cast<size_t>(images));
+    for (int64_t i = 0; i < images; ++i) {
+        size_t programmed_idx = 0;
+        for (size_t idx = 0; idx < execs.size(); ++idx) {
+            const NodeExec &e = execs[idx];
+            if (!e.engine)
+                continue;
+            const arch::EngineStats &s =
+                per_image[static_cast<int64_t>(idx) * stride + i];
+            recordLayer(reports[static_cast<size_t>(i)], programmed_idx,
+                        e.name, s, e.mapped->numCrossbars(),
+                        s.presentations);
+            ++programmed_idx;
+        }
     }
 }
 

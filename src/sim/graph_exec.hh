@@ -115,6 +115,20 @@ buildNodeExecs(const compile::Graph &g, const std::vector<int> &topo,
  *        calls reproduces one engine-lifetime serial fold
  * @param on_phase optional per-(node, replica) timing sink; see
  *        PhaseSink
+ * @param image_ids optional stable per-image presentation-stream ids
+ *        (one per batch image). When set, every programmed node keys
+ *        its per-presentation RNG streams by image id instead of the
+ *        engine-lifetime counters (sim::StageEngines::imageIds): the
+ *        request-keyed path that makes serving batch-invariant. The
+ *        offline runtimes pass consecutive ids, which reproduces the
+ *        counter-keyed behavior bit for bit.
+ * @param per_image optional per-(exec, image) stats accumulators
+ *        (requires image_ids): exec `idx`'s stats for batch image i
+ *        fold into per_image[idx * per_image_stride + i], each group
+ *        bitwise-identical to a single-image forward's node
+ *        accumulator. The flat per-node fold into `stats` is
+ *        unchanged. The stride lets the pipeline runtime aim
+ *        micro-batch slices into one full-batch array.
  *
  * `execs` is mutable for the same reason it was already
  * one-caller-at-a-time: programmed nodes carry per-node execution
@@ -123,7 +137,10 @@ buildNodeExecs(const compile::Graph &g, const std::vector<int> &topo,
 Tensor runGraph(const compile::Graph &g, std::vector<NodeExec> &execs,
                 const Tensor &batch, ThreadPool &tp, int input_bits,
                 std::vector<arch::EngineStats> &stats,
-                const PhaseSink &on_phase = {});
+                const PhaseSink &on_phase = {},
+                const uint64_t *image_ids = nullptr,
+                arch::EngineStats *per_image = nullptr,
+                int64_t per_image_stride = 0);
 
 /**
  * Merge every programmed exec's accumulated stats into `report` rows
@@ -134,6 +151,20 @@ Tensor runGraph(const compile::Graph &g, std::vector<NodeExec> &execs,
 void recordNodeRows(const std::vector<NodeExec> &execs,
                     const std::vector<arch::EngineStats> &stats,
                     RuntimeReport &report);
+
+/**
+ * Expand per-(exec, image) accumulators (runGraph's `per_image`
+ * channel, laid out [idx * stride + i]) into one RuntimeReport per
+ * image: image i's rows carry the same names, order and crossbar
+ * counts as recordNodeRows, with stats covering only that image's
+ * presentations — bitwise-identical to the report of a single-image
+ * forward under the same stream ids. `reports` is resized to
+ * `images`; existing rows merge (recordLayer semantics).
+ */
+void recordPerImageRows(const std::vector<NodeExec> &execs,
+                        const arch::EngineStats *per_image,
+                        int64_t stride, int64_t images,
+                        std::vector<RuntimeReport> &reports);
 
 } // namespace forms::sim
 

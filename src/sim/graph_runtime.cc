@@ -64,21 +64,48 @@ void
 GraphRuntime::resetPresentationStreams()
 {
     pools_[0].resetPresentationStreams();
+    nextImageId_ = 0;
 }
 
 Tensor
 GraphRuntime::forward(const Tensor &batch, RuntimeReport *report)
 {
+    // Consecutive ids from the runtime-lifetime counter make every
+    // node's stream keys equal the engine-lifetime presentation
+    // indices the unkeyed path would have used — forward() stays
+    // bit-identical to its pre-keyed behavior.
+    const int64_t n = batch.dim(0);
+    std::vector<uint64_t> ids(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i)
+        ids[static_cast<size_t>(i)] =
+            nextImageId_ + static_cast<uint64_t>(i);
+    Tensor result = forwardRequests(batch, ids.data(), nullptr, report);
+    nextImageId_ += static_cast<uint64_t>(n);
+    return result;
+}
+
+Tensor
+GraphRuntime::forwardRequests(const Tensor &batch, const uint64_t *ids,
+                              std::vector<RuntimeReport> *per_request,
+                              RuntimeReport *report)
+{
     FORMS_TRACE_SCOPE("GraphRuntime::forward");
     const auto t0 = std::chrono::steady_clock::now();
+    const int64_t n = batch.dim(0);
     ThreadPool &tp = pool();
     // Route the shared tensor kernels (relu, pooling, im2col) through
     // this runtime's pool too: every node shards on one pool.
     PoolScope scope(tp);
 
     std::vector<arch::EngineStats> node_stats(execs_.size());
+    std::vector<arch::EngineStats> per_image;
+    if (per_request)
+        per_image.resize(execs_.size() * static_cast<size_t>(n));
     Tensor result = runGraph(graph_, execs_, batch, tp,
-                             cfg_.mapping.inputBits, node_stats);
+                             cfg_.mapping.inputBits, node_stats, {}, ids,
+                             per_request ? per_image.data() : nullptr, n);
+    if (per_request)
+        recordPerImageRows(execs_, per_image.data(), n, n, *per_request);
 
     const double wall_ms = std::chrono::duration<double, std::milli>(
         std::chrono::steady_clock::now() - t0).count();

@@ -81,11 +81,31 @@ class GraphRuntime
      */
     Tensor forward(const Tensor &batch, RuntimeReport *report = nullptr);
 
+    /**
+     * Stream a batch of independently-identified images: image i draws
+     * all its per-presentation randomness from streams keyed by
+     * `ids[i]` (one id per batch image) instead of the runtime's
+     * implicit id counter. A request's logits — and, when
+     * `per_request` is given, its RuntimeReport (one per image,
+     * resized/merged in batch order) — are therefore bit-identical no
+     * matter which batch the request lands in or in what order
+     * requests arrived: the serving layer's batch-invariance contract
+     * (docs/SERVING.md). Does not consume ids from the counter
+     * forward() uses.
+     */
+    Tensor forwardRequests(const Tensor &batch, const uint64_t *ids,
+                           std::vector<RuntimeReport> *per_request = nullptr,
+                           RuntimeReport *report = nullptr);
+
     /** Fraction of argmax(logits) == label over a labelled batch. */
     double accuracy(const Tensor &images, const std::vector<int> &labels,
                     RuntimeReport *report = nullptr);
 
-    /** Restart every programmed engine's presentation RNG stream. */
+    /**
+     * Restart every programmed engine's presentation RNG stream and
+     * the forward() image-id counter, so the next forward() replays
+     * the same randomness as a fresh runtime.
+     */
     void resetPresentationStreams();
 
     /** Number of executable nodes (programmed + functional). */
@@ -106,6 +126,7 @@ class GraphRuntime
     std::vector<arch::EnginePool> pools_; //!< one pool (single chip)
     std::vector<NodeExec> execs_;         //!< parallel to topo_
     RuntimeConfig cfg_;
+    uint64_t nextImageId_ = 0;            //!< forward()'s id counter
 
     ThreadPool &pool() const;
 };

@@ -55,10 +55,30 @@ PipelineRuntime::resetPresentationStreams()
 {
     for (auto &p : pools_)
         p.resetPresentationStreams();
+    nextImageId_ = 0;
 }
 
 Tensor
 PipelineRuntime::forward(const Tensor &batch, PipelineReport *report)
+{
+    // Consecutive ids from the runtime-lifetime counter make every
+    // node's stream keys equal the engine-lifetime presentation
+    // indices the unkeyed path would have used — forward() stays
+    // bit-identical to its pre-keyed behavior.
+    const int64_t n = batch.dim(0);
+    std::vector<uint64_t> ids(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i)
+        ids[static_cast<size_t>(i)] =
+            nextImageId_ + static_cast<uint64_t>(i);
+    Tensor result = forwardRequests(batch, ids.data(), nullptr, report);
+    nextImageId_ += static_cast<uint64_t>(n);
+    return result;
+}
+
+Tensor
+PipelineRuntime::forwardRequests(const Tensor &batch, const uint64_t *ids,
+                                 std::vector<RuntimeReport> *per_request,
+                                 PipelineReport *report)
 {
     FORMS_TRACE_SCOPE("PipelineRuntime::forward");
     const auto t0 = std::chrono::steady_clock::now();
@@ -82,6 +102,14 @@ PipelineRuntime::forward(const Tensor &batch, PipelineReport *report)
     // full-batch GraphRuntime forward: the bit-identical contract
     // across micro-batch sizes and replication factors.
     std::vector<arch::EngineStats> node_stats(execs_.size());
+
+    // Per-(exec, image) accumulators for the per-request stats
+    // channel, laid out [idx * images + i] so each micro-batch's
+    // runGraph call lands its slice at offset `lo` with stride
+    // `images`.
+    std::vector<arch::EngineStats> per_image;
+    if (per_request)
+        per_image.resize(execs_.size() * static_cast<size_t>(images));
 
     // Per-(chip, micro-batch) phase intervals, one per hosted
     // programmed node in topological order: the digital quantization
@@ -111,8 +139,13 @@ PipelineRuntime::forward(const Tensor &batch, PipelineReport *report)
                     [static_cast<size_t>(replica)];
                 phases[static_cast<size_t>(chip)][static_cast<size_t>(m)]
                     .push_back({cfg_.tile.quantNs(quant_values), adc_ns});
-            });
+            },
+            ids + lo,
+            per_request ? per_image.data() + lo : nullptr, images);
     }
+    if (per_request)
+        recordPerImageRows(execs_, per_image.data(), images, images,
+                           *per_request);
 
     // Stitch the micro-batch outputs back into one batch tensor.
     Shape out_shape = mb_out[0].shape();

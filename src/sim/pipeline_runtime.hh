@@ -198,11 +198,30 @@ class PipelineRuntime
      */
     Tensor forward(const Tensor &batch, PipelineReport *report = nullptr);
 
+    /**
+     * Stream a batch of independently-identified images: image i keys
+     * all its per-presentation randomness by `ids[i]` (one id per
+     * batch image) instead of the runtime's implicit id counter, so a
+     * request's logits — and, when `per_request` is given, its
+     * RuntimeReport (one per image, resized/merged in batch order) —
+     * are bit-identical for any batch composition, arrival order,
+     * micro-batch size, chip count and replication factor
+     * (docs/SERVING.md). Does not consume ids from the counter
+     * forward() uses.
+     */
+    Tensor forwardRequests(const Tensor &batch, const uint64_t *ids,
+                           std::vector<RuntimeReport> *per_request = nullptr,
+                           PipelineReport *report = nullptr);
+
     /** Fraction of argmax(logits) == label over a labelled batch. */
     double accuracy(const Tensor &images, const std::vector<int> &labels,
                     PipelineReport *report = nullptr);
 
-    /** Restart every chip's presentation RNG streams. */
+    /**
+     * Restart every chip's presentation RNG streams and the forward()
+     * image-id counter, so the next forward() replays the same
+     * randomness as a fresh runtime.
+     */
     void resetPresentationStreams();
 
     /** The stage partition this runtime executes. */
@@ -224,6 +243,7 @@ class PipelineRuntime
     std::vector<arch::EnginePool> pools_; //!< one per chip
     std::vector<NodeExec> execs_;         //!< parallel to topo_
     PipelineRuntimeConfig cfg_;
+    uint64_t nextImageId_ = 0;            //!< forward()'s id counter
 
     ThreadPool &pool() const;
 

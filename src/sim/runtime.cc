@@ -160,6 +160,7 @@ InferenceRuntime::resetPresentationStreams()
     for (auto &s : stages_)
         if (s->engine)
             s->engine->resetPresentationStream();
+    nextImageId_ = 0;
 }
 
 Tensor
@@ -173,6 +174,18 @@ InferenceRuntime::forward(const Tensor &batch, RuntimeReport *report)
     PoolScope scope(tp);
     const int in_bits = cfg_.mapping.inputBits;
     size_t programmed_idx = 0;
+
+    // Key every stage's presentation streams by consecutive
+    // runtime-lifetime image ids — equal to the engine-lifetime
+    // presentation indices the unkeyed path would have used, so
+    // forward() stays bit-identical to its pre-keyed behavior while
+    // sharing the request-keyed kernels (docs/SERVING.md).
+    const int64_t n_images = batch.dim(0);
+    std::vector<uint64_t> ids(static_cast<size_t>(n_images));
+    for (int64_t i = 0; i < n_images; ++i)
+        ids[static_cast<size_t>(i)] =
+            nextImageId_ + static_cast<uint64_t>(i);
+    nextImageId_ += static_cast<uint64_t>(n_images);
 
     // When only the metrics sink wants the per-layer rows, collect
     // them into a local report — a pure observer on top of the same
@@ -205,9 +218,10 @@ InferenceRuntime::forward(const Tensor &batch, RuntimeReport *report)
         }
         case Stage::Kind::Conv: {
             arch::EngineStats st;
-            cur = convStage(*act, StageEngines{{s.engine.get()}, {}},
-                            s.mapped, s.bias, {}, s.outC, s.k, s.stride,
-                            s.pad, in_bits, s.scale, tp, &st,
+            StageEngines se{{s.engine.get()}, {}};
+            se.imageIds = ids.data();
+            cur = convStage(*act, se, s.mapped, s.bias, {}, s.outC, s.k,
+                            s.stride, s.pad, in_bits, s.scale, tp, &st,
                             &s.im2colScratch);
             if (rep) {
                 recordLayer(*rep, programmed_idx, s.name, st,
@@ -218,9 +232,10 @@ InferenceRuntime::forward(const Tensor &batch, RuntimeReport *report)
         }
         case Stage::Kind::Dense: {
             arch::EngineStats st;
-            cur = denseStage(*act, StageEngines{{s.engine.get()}, {}},
-                             s.mapped, s.bias, s.outC, in_bits, s.scale,
-                             tp, &st);
+            StageEngines se{{s.engine.get()}, {}};
+            se.imageIds = ids.data();
+            cur = denseStage(*act, se, s.mapped, s.bias, s.outC, in_bits,
+                             s.scale, tp, &st);
             if (rep) {
                 recordLayer(*rep, programmed_idx, s.name, st,
                             s.mapped.numCrossbars(), st.presentations);

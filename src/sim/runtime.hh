@@ -153,10 +153,11 @@ class InferenceRuntime
                     RuntimeReport *report = nullptr);
 
     /**
-     * Restart every programmed engine's presentation RNG stream at
-     * index 0. With readNoiseSigma > 0, presentation indices (and so
-     * the noise draws) otherwise continue across forward() calls;
-     * reset before a run that must reproduce an earlier one.
+     * Restart every programmed engine's presentation RNG stream and
+     * the runtime's image-id counter at 0. With readNoiseSigma > 0,
+     * image ids (and so the noise draws) otherwise continue across
+     * forward() calls; reset before a run that must reproduce an
+     * earlier one.
      */
     void resetPresentationStreams();
 
@@ -173,6 +174,7 @@ class InferenceRuntime
     struct Stage;
     std::vector<std::unique_ptr<Stage>> stages_;
     RuntimeConfig cfg_;
+    uint64_t nextImageId_ = 0;   //!< forward()'s per-image stream ids
 
     ThreadPool &pool() const;
 };

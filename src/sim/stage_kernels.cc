@@ -47,7 +47,8 @@ quantizePresentations(ThreadPool &tp, int64_t count, int64_t rows,
                       int bits, const StageScale &sc,
                       std::vector<float> &scales, const float *base,
                       int64_t j_stride, int64_t r_stride,
-                      arch::EngineStats *stats)
+                      arch::EngineStats *stats, int64_t ppi,
+                      arch::EngineStats *per_image)
 {
     const bool is_static = sc.mode == arch::ScaleMode::Static;
     std::vector<std::vector<uint32_t>> q(static_cast<size_t>(count));
@@ -87,6 +88,24 @@ quantizePresentations(ThreadPool &tp, int64_t count, int64_t rows,
         for (uint64_t c : clipped)
             stats->quantClipped += c;
     }
+    // Per-image quantization counters (the per-request stats channel):
+    // image i sees ppi presentations x rows values, and only its own
+    // presentations' clip counts — exactly what a single-image run of
+    // this stage would have counted. Integer counters, so the split
+    // fold cannot perturb the flat batch fold above.
+    if (per_image) {
+        FORMS_ASSERT(ppi > 0 && count % ppi == 0,
+                     "quantizePresentations: per-image stats need the "
+                     "per-image presentation count");
+        for (int64_t i = 0; i < count / ppi; ++i) {
+            per_image[i].quantValues += static_cast<uint64_t>(ppi) *
+                static_cast<uint64_t>(rows);
+        }
+        if (is_static)
+            for (int64_t j = 0; j < count; ++j)
+                per_image[j / ppi].quantClipped +=
+                    clipped[static_cast<size_t>(j)];
+    }
     if (sc.record)
         sc.record->insert(sc.record->end(), maxima.begin(), maxima.end());
     return q;
@@ -117,58 +136,101 @@ channelValue(const std::vector<float> &deq, int oc)
  * Execute one micro-batch's presentations on a stage's engine
  * replicas (see StageEngines in the header for the slicing and
  * bit-identity contract). `rows` is the quantized values per
- * presentation, reported through onPhase for the timing model.
+ * presentation, reported through onPhase for the timing model; `ppi`
+ * is presentations per image, used to expand per-image stream ids
+ * into per-presentation keys on the request-keyed path.
  */
 std::vector<std::vector<double>>
 replicatedMvm(const StageEngines &eng,
               const std::vector<std::vector<uint32_t>> &q, int64_t rows,
-              arch::EngineStats *stats, ThreadPool &tp)
+              int64_t ppi, arch::EngineStats *stats, ThreadPool &tp)
 {
     const size_t p = q.size();
     const size_t r_count = eng.replicas.size();
     FORMS_ASSERT(r_count >= 1, "matrix stage with no engine");
+    FORMS_ASSERT(!eng.perImage || eng.imageIds,
+                 "per-image stats need per-image stream ids");
     // The per-phase sink needs model-time deltas even when the caller
     // passes no accumulator.
     arch::EngineStats scratch;
     arch::EngineStats *acc =
         stats ? stats : (eng.onPhase ? &scratch : nullptr);
 
+    // Request-keyed streams: presentation j's RNG key is
+    // imageIds[j/ppi]*ppi + j%ppi instead of the engine-lifetime
+    // counter, so an image's draws depend only on its own id — not on
+    // batch position, batch composition, or what ran before. With the
+    // offline runtimes' consecutive ids the keys equal the counter
+    // values bit for bit.
+    std::vector<uint64_t> keys;
+    std::vector<arch::EngineStats> per;
+    if (eng.imageIds) {
+        const size_t u_ppi = static_cast<size_t>(ppi);
+        keys.resize(p);
+        for (size_t j = 0; j < p; ++j)
+            keys[j] = eng.imageIds[j / u_ppi] * static_cast<uint64_t>(ppi)
+                + static_cast<uint64_t>(j % u_ppi);
+        if (eng.perImage)
+            per.resize(p);
+    }
+    arch::EngineStats *per_out = per.empty() ? nullptr : per.data();
+
+    std::vector<std::vector<double>> outs;
     if (r_count == 1) {
         const double before = acc ? acc->timeNs : 0.0;
-        auto out = eng.replicas[0]->mvmBatch(q, acc, &tp);
+        outs = eng.imageIds
+            ? eng.replicas[0]->mvmKeyed(q, 0, p, keys.data(), acc,
+                                        per_out, &tp)
+            : eng.replicas[0]->mvmBatch(q, acc, &tp);
         if (eng.onPhase)
             eng.onPhase(0, acc->timeNs - before,
                         p * static_cast<uint64_t>(rows));
-        return out;
+    } else {
+        // Replica r takes the contiguous presentation slice
+        // [floor(p*r/R), floor(p*(r+1)/R)). Slices run (and fold
+        // their per-presentation stats into `acc`) in ascending
+        // replica order; on the engine-lifetime path each replica's
+        // stream is seeked to its slice's global presentation index
+        // first, on the keyed path the explicit keys carry the same
+        // information — either way this reproduces the exact outputs
+        // and stat fold of one engine running the whole stream.
+        const uint64_t base = eng.imageIds
+            ? 0 : eng.replicas[0]->presentationStreamPos();
+        outs.reserve(p);
+        for (size_t r = 0; r < r_count; ++r) {
+            const size_t lo = p * r / r_count;
+            const size_t hi = p * (r + 1) / r_count;
+            arch::CrossbarEngine &e = *eng.replicas[r];
+            const double before = acc ? acc->timeNs : 0.0;
+            std::vector<std::vector<double>> part;
+            if (eng.imageIds) {
+                part = e.mvmKeyed(q, lo, hi, keys.data(), acc, per_out,
+                                  &tp);
+            } else {
+                e.seekPresentationStream(base + lo);
+                part = e.mvmRange(q, lo, hi, acc, &tp);
+            }
+            if (eng.onPhase)
+                eng.onPhase(static_cast<int>(r), acc->timeNs - before,
+                            (hi - lo) * static_cast<uint64_t>(rows));
+            for (auto &v : part)
+                outs.push_back(std::move(v));
+        }
+        // Leave every replica at the stage's lifetime presentation
+        // count so the next micro-batch (and resetPresentationStreams)
+        // see the same stream position a single engine would. Keyed
+        // execution never reads the counters, so they stay untouched.
+        if (!eng.imageIds)
+            for (arch::CrossbarEngine *e : eng.replicas)
+                e->seekPresentationStream(base + p);
     }
 
-    // Replica r takes the contiguous presentation slice
-    // [floor(p*r/R), floor(p*(r+1)/R)). Slices run (and fold their
-    // per-presentation stats into `acc`) in ascending replica order,
-    // and each replica's stream is seeked to its slice's global
-    // presentation index first — together that reproduces the exact
-    // outputs and stat fold of one engine running the whole stream.
-    const uint64_t base = eng.replicas[0]->presentationStreamPos();
-    std::vector<std::vector<double>> outs;
-    outs.reserve(p);
-    for (size_t r = 0; r < r_count; ++r) {
-        const size_t lo = p * r / r_count;
-        const size_t hi = p * (r + 1) / r_count;
-        arch::CrossbarEngine &e = *eng.replicas[r];
-        e.seekPresentationStream(base + lo);
-        const double before = acc ? acc->timeNs : 0.0;
-        auto part = e.mvmRange(q, lo, hi, acc, &tp);
-        if (eng.onPhase)
-            eng.onPhase(static_cast<int>(r), acc->timeNs - before,
-                        (hi - lo) * static_cast<uint64_t>(rows));
-        for (auto &v : part)
-            outs.push_back(std::move(v));
-    }
-    // Leave every replica at the stage's lifetime presentation count
-    // so the next micro-batch (and resetPresentationStreams) see the
-    // same stream position a single engine would.
-    for (arch::CrossbarEngine *e : eng.replicas)
-        e->seekPresentationStream(base + p);
+    // Per-image fold: image i's accumulator merges its own
+    // presentations in within-image order from zero — the same merge
+    // sequence a single-image batch would have produced.
+    if (eng.perImage)
+        for (size_t j = 0; j < p; ++j)
+            eng.perImage[j / static_cast<size_t>(ppi)].merge(per[j]);
     return outs;
 }
 
@@ -202,16 +264,19 @@ convStage(const Tensor &act, const StageEngines &engines,
     const int64_t m = cols.dim(1);
     const float *pc = cols.data();
 
+    // One image contributes one im2col plane of oh*ow contiguous
+    // presentations — the per-image presentation count the
+    // request-keyed stream path slices by.
+    const int64_t plane = int64_t(oh) * ow;
     std::vector<float> scales;
     auto q = quantizePresentations(tp, m, rows, input_bits, sc, scales,
                                    pc, /*j_stride=*/1, /*r_stride=*/m,
-                                   stats);
+                                   stats, plane, engines.perImage);
 
-    auto raw = replicatedMvm(engines, q, rows, stats, tp);
+    auto raw = replicatedMvm(engines, q, rows, plane, stats, tp);
 
     Tensor out({n, out_c, oh, ow});
     float *po = out.data();
-    const int64_t plane = int64_t(oh) * ow;
     tp.parallelFor(0, m, 16, [&](int64_t j, int) {
         const auto deq = arch::dequantizeOutputs(
             raw[static_cast<size_t>(j)], mapped.scale,
@@ -243,9 +308,10 @@ denseStage(const Tensor &act, const StageEngines &engines,
     std::vector<float> scales;
     auto q = quantizePresentations(tp, n, feats, input_bits, sc, scales,
                                    pi, /*j_stride=*/feats,
-                                   /*r_stride=*/1, stats);
+                                   /*r_stride=*/1, stats, /*ppi=*/1,
+                                   engines.perImage);
 
-    auto raw = replicatedMvm(engines, q, feats, stats, tp);
+    auto raw = replicatedMvm(engines, q, feats, /*ppi=*/1, stats, tp);
 
     Tensor out({n, out_dim});
     float *po = out.data();

@@ -75,7 +75,8 @@ quantizePresentations(ThreadPool &tp, int64_t count, int64_t rows,
                       int bits, const StageScale &sc,
                       std::vector<float> &scales, const float *base,
                       int64_t j_stride, int64_t r_stride,
-                      arch::EngineStats *stats);
+                      arch::EngineStats *stats, int64_t ppi = 0,
+                      arch::EngineStats *per_image = nullptr);
 
 /**
  * The programmed engines executing one matrix stage. `replicas[0]` is
@@ -111,6 +112,30 @@ struct StageEngines
      * (sim/perf_model.hh); plain inference leaves it unset.
      */
     std::function<void(int, double, uint64_t)> onPhase;
+
+    /**
+     * Stable per-image presentation-stream ids, one per image of the
+     * incoming batch — or null for the engine-lifetime stream. When
+     * set, the stage's presentation j (image j/ppi, within-image
+     * index j%ppi, for ppi presentations per image — the conv im2col
+     * plane, 1 for dense) draws its RNG from stream key
+     * imageIds[j/ppi] * ppi + j%ppi and the engines' stream counters
+     * are untouched. Offline runtimes pass consecutive ids, making
+     * the keys equal the engine-lifetime indices bit for bit; the
+     * serving layer passes stable per-request ids, making a request's
+     * logits invariant to batch composition and arrival order
+     * (docs/SERVING.md).
+     */
+    const uint64_t *imageIds = nullptr;
+
+    /**
+     * Optional per-image stat accumulators, parallel to imageIds
+     * (requires imageIds). Image i's accumulator folds only its own
+     * presentations, in within-image order from zero — bitwise what a
+     * single-image run of the same stage would have accumulated. The
+     * flat batch fold into the `stats` argument is unchanged.
+     */
+    arch::EngineStats *perImage = nullptr;
 };
 
 /**

@@ -11,11 +11,18 @@
  * dispatch modes (scalar reference vs best-available SIMD, DESIGN.md
  * §6) — for bitwise-identical logits and per-node EngineStats, with
  * ADC quantization, device variation and read noise all enabled
- * (DESIGN.md §3–§5). Hand-picked networks only cover the topologies
- * someone thought of; the fuzz covers the ones nobody did.
+ * (DESIGN.md §3–§5). A serving axis additionally replays a subset of
+ * graphs through serve::Server — random arrival orders and batch
+ * deadlines — and requires every dynamically batched response to
+ * reproduce the offline logits bitwise (docs/SERVING.md). Hand-picked
+ * networks only cover the topologies someone thought of; the fuzz
+ * covers the ones nobody did.
  */
 
 #include <gtest/gtest.h>
+
+#include <cstring>
+#include <future>
 
 #include "common/simd.hh"
 #include "compile/calibration.hh"
@@ -24,6 +31,8 @@
 #include "nn/layers.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "serve/backends.hh"
+#include "serve/server.hh"
 #include "sim/calibrator.hh"
 #include "sim/graph_runtime.hh"
 #include "sim/pipeline_runtime.hh"
@@ -300,6 +309,62 @@ TEST(CrossRuntimeFuzz, GraphAndPipelineRuntimesAgreeBitwise)
             // ...and the observers actually observed something.
             EXPECT_FALSE(session.events().empty());
             EXPECT_FALSE(metrics.snapshot().counters.empty());
+        }
+
+        // Serving axis: the same images served one at a time through
+        // a dynamically batching server — random arrival order,
+        // random batch deadline, random maxBatch — must reproduce the
+        // offline reference logits bitwise. Request i is keyed by its
+        // batch row (the ids the fresh offline runtime assigned), so
+        // every response row must equal the reference row no matter
+        // how the server composed its batches (docs/SERVING.md).
+        if (g % 4 == 1 || stem_heavy) {
+            auto sched3 = compile::Schedule::partition(graph, scfg);
+            sim::PipelineRuntime spr(graph, std::move(sched3), states,
+                                     pcfg);
+            serve::PipelineBackend backend(spr);
+            serve::ServerConfig ssc;
+            ssc.maxBatch = 1 + static_cast<int>(rng.below(3));
+            ssc.maxDelayUs =
+                static_cast<int64_t>(rng.below(3)) * 200;
+            serve::Server server(backend, ssc);
+
+            const int64_t n = batch.dim(0);
+            const int64_t elems = batch.numel() / n;
+            const int64_t out_elems = ref.numel() / n;
+            std::vector<int64_t> order(static_cast<size_t>(n));
+            for (int64_t i = 0; i < n; ++i)
+                order[static_cast<size_t>(i)] = i;
+            for (size_t i = order.size(); i > 1; --i)
+                std::swap(order[i - 1], order[rng.below(i)]);
+
+            std::vector<std::future<serve::Response>> futs(
+                static_cast<size_t>(n));
+            Shape sample_shape(batch.shape().begin() + 1,
+                               batch.shape().end());
+            for (int64_t j = 0; j < n; ++j) {
+                const int64_t i = order[static_cast<size_t>(j)];
+                Tensor img(sample_shape);
+                std::memcpy(img.data(), batch.data() + i * elems,
+                            static_cast<size_t>(elems) *
+                                sizeof(float));
+                futs[static_cast<size_t>(i)] = server.submit(
+                    std::move(img), static_cast<uint64_t>(i));
+            }
+            for (int64_t i = 0; i < n; ++i) {
+                serve::Response r =
+                    futs[static_cast<size_t>(i)].get();
+                ASSERT_EQ(r.status, serve::Status::Ok);
+                ASSERT_EQ(r.logits.numel(), out_elems);
+                EXPECT_EQ(0, std::memcmp(r.logits.data(),
+                                         ref.data() + i * out_elems,
+                                         static_cast<size_t>(out_elems) *
+                                             sizeof(float)))
+                    << "served logits diverge from offline reference: "
+                    << "request " << i << " maxBatch=" << ssc.maxBatch
+                    << " maxDelayUs=" << ssc.maxDelayUs << "\n"
+                    << graph.dump();
+            }
         }
     }
     // The generator must actually exercise the interesting paths.
