@@ -1,0 +1,30 @@
+# Build-time git sha capture for obs::RunManifest (run via `cmake -P`
+# by the forms_git_sha custom target, see the top-level CMakeLists).
+#
+# Inputs:  SOURCE_DIR   — the git work tree to query
+#          OUTPUT_FILE  — the header to (re)generate
+#
+# The header is rewritten only when its content actually changed, so a
+# no-op build after an unchanged HEAD stays a no-op (dependents of the
+# header do not recompile on every build).
+
+execute_process(COMMAND git rev-parse --short HEAD
+                WORKING_DIRECTORY ${SOURCE_DIR}
+                OUTPUT_VARIABLE FORMS_GIT_SHA
+                OUTPUT_STRIP_TRAILING_WHITESPACE
+                ERROR_QUIET)
+if(NOT FORMS_GIT_SHA)
+  set(FORMS_GIT_SHA "unknown")
+endif()
+
+set(content "// Generated at build time by cmake/git_sha.cmake — do not edit.
+#define FORMS_GIT_SHA \"${FORMS_GIT_SHA}\"
+")
+
+set(existing "")
+if(EXISTS ${OUTPUT_FILE})
+  file(READ ${OUTPUT_FILE} existing)
+endif()
+if(NOT content STREQUAL existing)
+  file(WRITE ${OUTPUT_FILE} "${content}")
+endif()

@@ -76,6 +76,61 @@ SCHEMAS = {
     },
 }
 
+# BENCH_pipeline.json nests deeper than the generic one-level list
+# check: every chip-count row carries one object per scheduler mode,
+# and each of those carries the zero-skip activity fields plus a
+# per-chip breakdown (see bench/fig15_multichip.cc's writeMode).
+PIPELINE_MODES = ["contiguous", "tile_pipelined", "replicated_tile",
+                  "eic_time"]
+PIPELINE_MODE_KEYS = ["modeled_fps", "bubble_fraction", "stages",
+                      "max_replicas", "adc_bit_cycles",
+                      "adc_skipped_cycles", "eic_fraction",
+                      "logits_match_graph_runtime", "per_chip"]
+PIPELINE_CHIP_KEYS = ["chip", "stage", "replicas", "utilization",
+                      "busy_us", "eic_fraction"]
+
+
+def check_pipeline_depth(doc):
+    errors = []
+    networks = doc.get("networks")
+    if not isinstance(networks, list):
+        return errors  # already reported by the generic list check
+    for ni, net in enumerate(networks):
+        points = net.get("chip_counts")
+        if not isinstance(points, list) or not points:
+            errors.append(f"networks[{ni}] 'chip_counts' is missing"
+                          f" or empty")
+            continue
+        for ci, point in enumerate(points):
+            where = f"networks[{ni}].chip_counts[{ci}]"
+            for mode in PIPELINE_MODES:
+                mobj = point.get(mode)
+                if not isinstance(mobj, dict):
+                    errors.append(f"{where} missing mode object"
+                                  f" {mode!r}")
+                    continue
+                for key in PIPELINE_MODE_KEYS:
+                    if key not in mobj:
+                        errors.append(f"{where}.{mode} missing"
+                                      f" {key!r}")
+                chips = mobj.get("per_chip")
+                if not isinstance(chips, list) or not chips:
+                    continue  # absence reported just above
+                for pi, chip in enumerate(chips):
+                    for key in PIPELINE_CHIP_KEYS:
+                        if key not in chip:
+                            errors.append(
+                                f"{where}.{mode}.per_chip[{pi}]"
+                                f" missing {key!r}")
+    return errors
+
+
+# Artifacts whose nesting the generic check cannot reach get a
+# dedicated validator, run after the generic one.
+DEEP_CHECKS = {
+    "BENCH_pipeline.json": check_pipeline_depth,
+}
+
 
 def check_artifact(path):
     errors = []
@@ -123,6 +178,9 @@ def check_artifact(path):
                     if key not in row:
                         errors.append(
                             f"{list_key}[{i}] missing {key!r}")
+    deep = DEEP_CHECKS.get(name)
+    if deep is not None:
+        errors.extend(deep(doc))
     return errors
 
 

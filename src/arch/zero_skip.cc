@@ -103,6 +103,21 @@ void
 EicStats::recordVector(const std::vector<uint32_t> &values, int frag_size)
 {
     FORMS_ASSERT(frag_size >= 1, "bad fragment size");
+    // Validate the whole vector up front: a value wider than the
+    // configured input grid means the caller fed unquantized (or
+    // saturated) activations, which would otherwise surface as an
+    // opaque assert deep inside record(). Fail with the offending
+    // value so calibration errors are actionable.
+    const uint32_t limit = inputBits_ >= 32
+        ? 0xffffffffu : ((1u << inputBits_) - 1u);
+    for (size_t i = 0; i < values.size(); ++i) {
+        if (values[i] > limit) {
+            fatal("EicStats::recordVector: value %u at index %zu "
+                  "exceeds the %d-bit input grid (max %u) — quantize "
+                  "or clamp activations before recording EIC",
+                  values[i], i, inputBits_, limit);
+        }
+    }
     for (size_t at = 0; at < values.size(); at += static_cast<size_t>(frag_size)) {
         const size_t n =
             std::min<size_t>(static_cast<size_t>(frag_size),

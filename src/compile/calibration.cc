@@ -11,7 +11,10 @@ namespace forms::compile {
 
 namespace {
 
-constexpr const char *kMagic = "forms-calibration v1";
+constexpr const char *kMagic = "forms-calibration v2";
+// v1 tables (no `eic` lines) still load; their entries just carry no
+// measured bit-level activity.
+constexpr const char *kMagicV1 = "forms-calibration v1";
 
 } // namespace
 
@@ -53,6 +56,10 @@ CalibrationTable::attachTo(Graph &g) const
                       e.node.c_str(), opName(n.op));
             }
             n.inScale = e.scale;
+            if (e.eicFragments > 0 && inputBits_ > 0) {
+                n.eicDensity = e.avgEic /
+                    static_cast<float>(inputBits_);
+            }
             found = true;
         }
         if (!found) {
@@ -72,6 +79,10 @@ CalibrationTable::save(std::ostream &os) const
         os << "scale " << e.node << " " << e.observations << " "
            << nn::encodeFloat(e.range) << " " << nn::encodeFloat(e.scale)
            << "\n";
+        if (e.eicFragments > 0) {
+            os << "eic " << e.node << " " << e.eicFragments << " "
+               << nn::encodeFloat(e.avgEic) << "\n";
+        }
     }
     os << "end\n";
     FORMS_ASSERT(os.good(), "stream failure while saving calibration");
@@ -90,7 +101,7 @@ CalibrationTable
 CalibrationTable::load(std::istream &is)
 {
     std::string line;
-    if (!std::getline(is, line) || line != kMagic)
+    if (!std::getline(is, line) || (line != kMagic && line != kMagicV1))
         fatal("bad calibration header (expected '%s')", kMagic);
 
     CalibrationTable table;
@@ -122,6 +133,25 @@ CalibrationTable::load(std::istream &is)
                 fatal("calibration entry '%s' has non-positive scale",
                       e.node.c_str());
             table.set(std::move(e));
+        } else if (tag == "eic") {
+            std::string node, eic_tok;
+            uint64_t fragments = 0;
+            if (!(ls >> node >> fragments >> eic_tok) || fragments == 0)
+                fatal("bad calibration line: '%s'", line.c_str());
+            // eic lines annotate an already-parsed scale entry.
+            CalibEntry *have = nullptr;
+            for (CalibEntry &cand : table.entries_)
+                if (cand.node == node)
+                    have = &cand;
+            if (!have) {
+                fatal("calibration eic line for '%s' precedes its "
+                      "scale entry", node.c_str());
+            }
+            have->avgEic = nn::parseFloat(eic_tok, "calibration eic");
+            have->eicFragments = fragments;
+            if (have->avgEic < 0.0f)
+                fatal("calibration entry '%s' has negative eic",
+                      node.c_str());
         } else {
             fatal("bad calibration line: '%s'", line.c_str());
         }

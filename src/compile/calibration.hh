@@ -16,11 +16,18 @@
  * safe to share across runtimes.
  *
  * Format (line-oriented, locale-independent):
- *   forms-calibration v1
+ *   forms-calibration v2
  *   input-bits <bits>
  *   scale <node-name> <observations> <range-hex> <scale-hex>
+ *   eic <node-name> <fragments> <avg-eic-hex>
  *   ...
  *   end
+ *
+ * `eic` lines carry the node's measured bit-level activity (average
+ * fragment EIC over `fragments` recorded fragments, hex-float for an
+ * exact round trip) and are written only for entries that recorded
+ * any; v1 files (no eic lines) still load, yielding unmeasured
+ * entries.
  */
 
 #ifndef FORMS_COMPILE_CALIBRATION_HH
@@ -42,6 +49,17 @@ struct CalibEntry
     float range = 0.0f;        //!< calibrated activation range (real units)
     float scale = 0.0f;        //!< quantizer step: range / (2^bits - 1)
     uint64_t observations = 0; //!< presentations the range was fit on
+
+    /**
+     * Measured bit-level activity: average fragment EIC over the
+     * calibration split's quantized presentations (fragmented the way
+     * the engine fragments its input rows). 0 with eicFragments == 0
+     * means the calibrator did not measure EIC for this node (e.g. a
+     * v1 table). Feeds Node::eicDensity via attachTo and the
+     * WorkModel::EicTime schedule objective.
+     */
+    float avgEic = 0.0f;
+    uint64_t eicFragments = 0; //!< fragments avgEic was measured over
 };
 
 /** Per-node static activation scales, in deterministic node order. */
@@ -65,7 +83,9 @@ class CalibrationTable
 
     /**
      * Stamp every entry's scale onto the matching matrix node's
-     * `Node::inScale` (its input edge) so the graph carries its own
+     * `Node::inScale` (its input edge) — and, for entries with a
+     * measured EIC, the node's `Node::eicDensity`
+     * (avgEic / inputBits) — so the graph carries its own
      * calibration; fatal()s when an entry names no live matrix node —
      * a table from a different model is a deployment error, not a
      * warning.

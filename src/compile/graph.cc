@@ -268,6 +268,8 @@ Graph::dump() const
         // and the output is a pure function of the stored value.
         if (n.inScale > 0.0f)
             out += strfmt("  in_scale=%.9g", n.inScale);
+        if (n.eicDensity > 0.0f)
+            out += strfmt("  eic_density=%.9g", n.eicDensity);
         if (n.id == output_)
             out += "  (output)";
         out += "\n";

@@ -82,6 +82,17 @@ struct Node
      */
     float inScale = 0.0f;
 
+    /**
+     * Measured input bit-density of a matrix node: calibrated average
+     * fragment EIC divided by the input grid's bit width, in (0, 1],
+     * stamped by compile::CalibrationTable::attachTo from a table
+     * whose calibrator recorded EIC. 0 means unmeasured. Consumed
+     * only by the WorkModel::EicTime schedule objective — it is a
+     * timing-model annotation and never touches execution, so logits
+     * are bit-identical with or without it (docs/ARCHITECTURE.md).
+     */
+    float eicDensity = 0.0f;
+
     /** Per-sample output shape, set by Graph::inferShapes(). */
     Shape outShape;
 };

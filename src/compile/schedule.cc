@@ -16,23 +16,34 @@ nodeWork(const Node &n, WorkModel model)
     int64_t out_elems = 1;
     for (int64_t d : n.outShape)
         out_elems *= d;
+    const bool timed =
+        model == WorkModel::AdcTime || model == WorkModel::EicTime;
+    // EicTime: a zero-skipping engine pays avgEic of the inputBits
+    // worst-case bit cycles per fragment, so the node's ADC-latency
+    // share shrinks by its measured bit-density. An unmeasured node
+    // (density 0, e.g. no calibration attached) charges full
+    // precision — EicTime then degrades to AdcTime rather than
+    // mis-ranking measured against unmeasured nodes.
+    const double density =
+        model == WorkModel::EicTime && n.eicDensity > 0.0f
+        ? static_cast<double>(n.eicDensity) : 1.0;
     switch (n.op) {
     case Op::Conv: {
         const double rows = static_cast<double>(n.conv->kernel()) *
                             n.conv->kernel() * n.conv->inChannels();
-        if (model == WorkModel::AdcTime) {
+        if (timed) {
             // Presentations (output pixels) x im2col rows: output
             // channels read in parallel across arrays, so they cost
             // crossbars, not time.
             const double pres = static_cast<double>(out_elems) /
                                 n.conv->outChannels();
-            return pres * rows;
+            return pres * rows * density;
         }
         return static_cast<double>(out_elems) * rows;
     }
     case Op::Dense:
-        if (model == WorkModel::AdcTime)
-            return static_cast<double>(n.dense->inDim());
+        if (timed)
+            return static_cast<double>(n.dense->inDim()) * density;
         return static_cast<double>(n.dense->inDim()) * n.dense->outDim();
     default:
         // Functional ops (relu, pool, BN, add...) are digital

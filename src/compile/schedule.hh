@@ -72,11 +72,24 @@ namespace forms::compile {
  * AdcTime balances — and gates replication on — that latency proxy,
  * which is what actually drains pipeline bubbles; Macs remains the
  * default for compatibility with the PR 3 partitions.
+ *
+ * AdcTime still charges every layer the full input precision, but
+ * the zero-skip engine only pays each fragment's *effective input
+ * cycles* (arch/zero_skip.hh): a ReLU-heavy layer whose activations
+ * are mostly zero finishes its ADC phase in a fraction of the
+ * worst-case cycles. EicTime scales each matrix node's AdcTime work
+ * by its measured input bit-density (Node::eicDensity, stamped by
+ * CalibrationTable::attachTo from a calibration run; unmeasured
+ * nodes fall back to density 1, i.e. plain AdcTime) — so the balance
+ * and replication decisions see the time the hardware will actually
+ * spend, not the time a dense input would cost
+ * (docs/SCHEDULING.md derives the model).
  */
 enum class WorkModel
 {
     Macs,     //!< MAC count: compute-volume balance (PR 3 behaviour)
     AdcTime,  //!< presentations x input rows: ADC-latency balance
+    EicTime,  //!< AdcTime x measured input bit-density (zero-skip aware)
 };
 
 /** Partitioner knobs. */
@@ -242,9 +255,11 @@ class Schedule
 /**
  * Compute-work estimate of one node under `model` (per sample):
  * Macs counts multiply-accumulates for Conv/Dense, AdcTime counts
- * presentations x input rows (the ADC-limited latency proxy); both
- * charge cheap functional ops one unit per output element. Requires
- * outShape to be inferred. The one-argument form is the Macs model.
+ * presentations x input rows (the ADC-limited latency proxy), and
+ * EicTime scales AdcTime by the node's measured input bit-density
+ * (Node::eicDensity; 1 when unmeasured); all charge cheap functional
+ * ops one unit per output element. Requires outShape to be inferred.
+ * The one-argument form is the Macs model.
  */
 double nodeWork(const Node &n, WorkModel model);
 double nodeWork(const Node &n);

@@ -6,6 +6,16 @@
 #include "common/simd.hh"
 #include "common/threadpool.hh"
 
+// Build-time-generated header carrying the FORMS_GIT_SHA macro (see
+// cmake/git_sha.cmake). Absent when the library is compiled outside
+// the CMake build (e.g. ad-hoc compile_commands tooling) — then the
+// manifest falls back to the env var or "unknown".
+#if defined(__has_include)
+#if __has_include("forms_git_sha.hh")
+#include "forms_git_sha.hh"
+#endif
+#endif
+
 namespace forms::obs {
 
 namespace {
@@ -13,9 +23,9 @@ namespace {
 std::string
 resolveGitSha()
 {
-    // An explicit env override beats the configure-time capture: the
-    // compiled value goes stale when commits land without re-running
-    // CMake, and packaged binaries may have been configured elsewhere.
+    // An explicit env override beats the build-time capture: packaged
+    // binaries may have been built elsewhere, and a run from a
+    // not-yet-rebuilt tree can still stamp the truth.
     if (const char *env = std::getenv("FORMS_GIT_SHA"); env && *env)
         return env;
 #if defined(FORMS_GIT_SHA)

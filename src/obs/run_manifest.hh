@@ -13,10 +13,12 @@
  * scripts/check_bench_schema.py validates them in CI.
  *
  * The git sha resolves, in order: the FORMS_GIT_SHA environment
- * variable (for stale-configure or packaged runs), the FORMS_GIT_SHA
- * compile definition captured at CMake configure time, then
- * "unknown". `schema_version` (kBenchSchemaVersion) bumps whenever
- * the manifest layout or a bench's required keys change shape.
+ * variable (for packaged or cross-built runs), the FORMS_GIT_SHA
+ * macro from the *build-time*-generated forms_git_sha.hh header
+ * (cmake/git_sha.cmake re-stamps it on every build, so rebuilt
+ * binaries never report a stale configure-time sha), then "unknown".
+ * `schema_version` (kBenchSchemaVersion) bumps whenever the manifest
+ * layout or a bench's required keys change shape.
  */
 
 #ifndef FORMS_OBS_RUN_MANIFEST_HH
@@ -37,7 +39,7 @@ constexpr int kBenchSchemaVersion = 1;
 struct RunManifest
 {
     std::string bench;         //!< emitting tool, e.g. "fig15_multichip"
-    std::string gitSha;        //!< env > configure-time capture > "unknown"
+    std::string gitSha;        //!< env > build-time capture > "unknown"
     std::string build;         //!< CMAKE_BUILD_TYPE of the binary
     std::string simdDispatch;  //!< resolved kernel dispatch (Mode::Auto)
     int threads = 0;           //!< process-wide ThreadPool width

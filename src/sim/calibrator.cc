@@ -85,6 +85,16 @@ Calibrator::table() const
         e.range = range;
         e.scale = range / static_cast<float>(qmax);
         e.observations = maxima.size();
+        // Bit-level activity: the stage kernels folded every quantized
+        // presentation's fragment EICs into recorder_.eic during the
+        // same observation pass.
+        const auto eic_it = recorder_.eic.find(name);
+        if (eic_it != recorder_.eic.end() &&
+            eic_it->second.histogram().total() > 0) {
+            e.avgEic =
+                static_cast<float>(eic_it->second.averageEic());
+            e.eicFragments = eic_it->second.histogram().total();
+        }
         out.set(std::move(e));
     }
     FORMS_ASSERT(out.size() > 0,

@@ -189,9 +189,9 @@ runGraph(const compile::Graph &g, std::vector<NodeExec> &execs,
                 se.perImage =
                     per_image + static_cast<int64_t>(idx) * per_image_stride;
             if (on_phase)
-                se.onPhase = [&on_phase, idx](int r, double dt,
-                                              uint64_t qv) {
-                    on_phase(idx, r, dt, qv);
+                se.onPhase = [&on_phase, idx](int r,
+                                              const PhaseSample &ps) {
+                    on_phase(idx, r, ps);
                 };
             out.owned = convStage(in(0), se, *e.mapped, e.bias,
                                   e.chanScale, e.outC, e.k, e.stride,
@@ -206,9 +206,9 @@ runGraph(const compile::Graph &g, std::vector<NodeExec> &execs,
                 se.perImage =
                     per_image + static_cast<int64_t>(idx) * per_image_stride;
             if (on_phase)
-                se.onPhase = [&on_phase, idx](int r, double dt,
-                                              uint64_t qv) {
-                    on_phase(idx, r, dt, qv);
+                se.onPhase = [&on_phase, idx](int r,
+                                              const PhaseSample &ps) {
+                    on_phase(idx, r, ps);
                 };
             out.owned = denseStage(in(0), se, *e.mapped, e.bias,
                                    e.outC, input_bits, e.scale, tp,

@@ -68,13 +68,15 @@ struct NodeExec
 
 /**
  * Per-phase timing callback of runGraph, fired once per (programmed
- * node, replica) in execution order: exec index, replica index, the
- * ADC-limited model-time delta that replica's presentation slice
- * added, and the activation values it quantized. The pipeline
- * runtime's intra-chip tile pipeline model (sim/perf_model.hh) turns
- * these into per-phase busy intervals.
+ * node, replica) in execution order: exec index, replica index, and
+ * the slice's PhaseSample (sim/stage_kernels.hh) — the ADC-limited
+ * model-time delta, values quantized, and the presented/skipped input
+ * bit-cycle counters. The pipeline runtime's intra-chip tile pipeline
+ * model (sim/perf_model.hh) turns these into per-phase busy intervals
+ * and per-phase measured EIC fractions.
  */
-using PhaseSink = std::function<void(size_t, int, double, uint64_t)>;
+using PhaseSink =
+    std::function<void(size_t, int, const PhaseSample &)>;
 
 /**
  * Build the executable form of every node in `topo`: map and program

@@ -145,11 +145,29 @@ PerfModel::effectiveBitsFor(const ArchModel &arch) const
 {
     if (!arch.zeroSkip)
         return static_cast<double>(arch.inputBits);
-    for (const auto &e : eicCache_)
-        if (e.first == arch.fragSize)
-            return e.second;
-    const double eic = act_.averageEic(arch.fragSize);
-    eicCache_.emplace_back(arch.fragSize, eic);
+    const std::pair<int, int> key{arch.fragSize, arch.inputBits};
+    {
+        std::lock_guard<std::mutex> lock(eicMutex_);
+        const auto it = eicCache_.find(key);
+        if (it != eicCache_.end())
+            return it->second;
+    }
+    // Re-express the calibrated distribution on this architecture's
+    // input grid: re-quantizing the same analog activations onto a
+    // b-bit grid scales every nonzero code by 2^(b - b_model), i.e.
+    // shifts the log-median by (b - b_model)·ln 2 and clamps to the
+    // narrower grid's maximum.
+    ActivationModel act = act_;
+    act.logMedian += static_cast<double>(arch.inputBits -
+                                         act_.inputBits) *
+        std::log(2.0);
+    act.inputBits = arch.inputBits;
+    // The Monte-Carlo estimate is deterministic (fixed seed), so two
+    // threads racing to fill the same key compute the same value;
+    // only the map insertion needs the lock.
+    const double eic = act.averageEic(arch.fragSize);
+    std::lock_guard<std::mutex> lock(eicMutex_);
+    eicCache_.emplace(key, eic);
     return eic;
 }
 

@@ -26,6 +26,10 @@
 #ifndef FORMS_SIM_PERF_MODEL_HH
 #define FORMS_SIM_PERF_MODEL_HH
 
+#include <map>
+#include <mutex>
+#include <utility>
+
 #include "admm/report.hh"
 #include "reram/components.hh"
 #include "sim/activation_model.hh"
@@ -134,7 +138,14 @@ class PerfModel
 
   private:
     ActivationModel act_;
-    mutable std::vector<std::pair<int, double>> eicCache_;
+    // EIC depends on both the fragment size and the input grid the
+    // activations are quantized onto, so the cache keys on the pair;
+    // the mutex makes concurrent evaluate() calls safe (the model is
+    // shared read-only across bench threads). Holding a mutex makes
+    // PerfModel non-copyable, which is fine — it is constructed once
+    // per bench/test and passed by reference.
+    mutable std::map<std::pair<int, int>, double> eicCache_;
+    mutable std::mutex eicMutex_;
 };
 
 /**
@@ -192,12 +203,31 @@ struct TilePipeline
 
 /**
  * One programmed node's per-phase busy interval within a chip:
- * quantization (digital front-end) then ADC-limited compute.
+ * quantization (digital front-end) then ADC-limited compute. The
+ * bit-cycle counters carry the compute phase's measured zero-skip
+ * activity (arch::EngineStats deltas): computeNs already reflects
+ * only the presented cycles, and eicFraction() reports how far below
+ * the dense worst case that is.
  */
 struct PhaseInterval
 {
     double quantNs = 0.0;
     double computeNs = 0.0;
+    uint64_t bitCycles = 0;      //!< input bit cycles presented
+    uint64_t skippedCycles = 0;  //!< bit cycles elided by zero-skip
+
+    /**
+     * Presented fraction of the worst-case input cycles,
+     * bitCycles / (bitCycles + skippedCycles) — the phase's measured
+     * EIC density. 1 when untracked (no cycles recorded).
+     */
+    double eicFraction() const
+    {
+        const uint64_t all = bitCycles + skippedCycles;
+        return all == 0
+            ? 1.0
+            : static_cast<double>(bitCycles) / static_cast<double>(all);
+    }
 };
 
 /**

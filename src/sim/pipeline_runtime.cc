@@ -133,12 +133,16 @@ PipelineRuntime::forwardRequests(const Tensor &batch, const uint64_t *ids,
         mb_out[static_cast<size_t>(m)] = runGraph(
             graph_, execs_, micro, tp, cfg_.runtime.mapping.inputBits,
             node_stats,
-            [&](size_t idx, int replica, double adc_ns,
-                uint64_t quant_values) {
+            [&](size_t idx, int replica, const PhaseSample &ps) {
                 const int chip = execs_[idx].replicaChips
                     [static_cast<size_t>(replica)];
+                PhaseInterval pi;
+                pi.quantNs = cfg_.tile.quantNs(ps.quantValues);
+                pi.computeNs = ps.adcNs;
+                pi.bitCycles = ps.bitCycles;
+                pi.skippedCycles = ps.skippedCycles;
                 phases[static_cast<size_t>(chip)][static_cast<size_t>(m)]
-                    .push_back({cfg_.tile.quantNs(quant_values), adc_ns});
+                    .push_back(pi);
             },
             ids + lo,
             per_request ? per_image.data() + lo : nullptr, images);
@@ -289,6 +293,8 @@ PipelineRuntime::forwardRequests(const Tensor &batch, const uint64_t *ids,
                                [static_cast<size_t>(m)]) {
                         c.quantNs += p.quantNs;
                         c.computeNs += p.computeNs;
+                        c.adcBitCycles += p.bitCycles;
+                        c.adcSkippedCycles += p.skippedCycles;
                     }
                     c.busyNs += busy[static_cast<size_t>(chip)]
                                     [static_cast<size_t>(m)];
@@ -414,7 +420,8 @@ PipelineRuntime::emitTrace(
                     t += ph[0].quantNs;
                     for (size_t k = 0; k < ph.size(); ++k) {
                         tr.slice(pid, 3, names[k], "adc", t / 1e3,
-                                 ph[k].computeNs / 1e3);
+                                 ph[k].computeNs / 1e3,
+                                 {{"eic_fraction", ph[k].eicFraction()}});
                         if (k + 1 < ph.size()) {
                             tr.slice(pid, 2, names[k + 1], "quant",
                                      t / 1e3, ph[k + 1].quantNs / 1e3);
@@ -430,7 +437,8 @@ PipelineRuntime::emitTrace(
                                  ph[k].quantNs / 1e3);
                         t += ph[k].quantNs;
                         tr.slice(pid, 3, names[k], "adc", t / 1e3,
-                                 ph[k].computeNs / 1e3);
+                                 ph[k].computeNs / 1e3,
+                                 {{"eic_fraction", ph[k].eicFraction()}});
                         t += ph[k].computeNs;
                     }
                 }

@@ -125,6 +125,25 @@ struct ChipReport
     double transferInNs = 0.0;   //!< modeled wait on the inbound link
     double transferInPj = 0.0;   //!< inbound link energy
     double utilization = 0.0;    //!< busyNs / pipeline makespan
+
+    /**
+     * Zero-skip activity of this chip's ADC phases, summed over the
+     * batch: input bit cycles actually presented vs elided
+     * (PhaseInterval's counters). computeNs already charges only the
+     * presented cycles; eicFraction() reports the measured density.
+     */
+    uint64_t adcBitCycles = 0;
+    uint64_t adcSkippedCycles = 0;
+
+    /** Presented fraction of worst-case input cycles (1 = no skip). */
+    double eicFraction() const
+    {
+        const uint64_t all = adcBitCycles + adcSkippedCycles;
+        return all == 0
+            ? 1.0
+            : static_cast<double>(adcBitCycles) /
+                static_cast<double>(all);
+    }
 };
 
 /**

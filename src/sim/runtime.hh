@@ -40,6 +40,7 @@
 #include <string>
 
 #include "arch/engine.hh"
+#include "arch/zero_skip.hh"
 #include "nn/network.hh"
 
 namespace forms::compile {
@@ -55,13 +56,17 @@ namespace forms::sim {
 /**
  * Per-stage range observations collected during calibration runs:
  * stage name -> per-presentation pre-quantization abs-max, in
- * presentation order (deterministic for any thread count). Wired into
- * a runtime through RuntimeConfig::recorder by sim::Calibrator;
- * normal inference leaves it null.
+ * presentation order (deterministic for any thread count), plus the
+ * stage's fragment-EIC histogram over its quantized presentations
+ * (the measured bit-level activity the EicTime work model consumes,
+ * docs/SCHEDULING.md). Wired into a runtime through
+ * RuntimeConfig::recorder by sim::Calibrator; normal inference leaves
+ * it null.
  */
 struct RangeRecorder
 {
     std::map<std::string, std::vector<float>> maxima;
+    std::map<std::string, arch::EicStats> eic;
 };
 
 /** Runtime construction knobs. */

@@ -37,8 +37,17 @@ resolveStageScale(const RuntimeConfig &cfg, const std::string &name,
                   name.c_str());
         }
     }
-    if (cfg.recorder)
+    if (cfg.recorder) {
         sc.record = &cfg.recorder->maxima[name];
+        // Bit-level activity channel: fold this stage's fragment EICs
+        // into a per-stage histogram on the mapping's input grid,
+        // fragmenting consecutive im2col rows the way the engine
+        // fragments its input presentations.
+        sc.eicStats = &cfg.recorder->eic
+                           .try_emplace(name, cfg.mapping.inputBits)
+                           .first->second;
+        sc.eicFragSize = cfg.mapping.fragSize;
+    }
     return sc;
 }
 
@@ -108,6 +117,12 @@ quantizePresentations(ThreadPool &tp, int64_t count, int64_t rows,
     }
     if (sc.record)
         sc.record->insert(sc.record->end(), maxima.begin(), maxima.end());
+    // EIC fold runs serially after the parallel quantize, presentation
+    // by presentation, so the histogram is bit-identical for any
+    // thread count (and only calibration runs pay for it).
+    if (sc.eicStats)
+        for (const auto &qp : q)
+            sc.eicStats->recordVector(qp, sc.eicFragSize);
     return q;
 }
 
@@ -177,14 +192,19 @@ replicatedMvm(const StageEngines &eng,
 
     std::vector<std::vector<double>> outs;
     if (r_count == 1) {
-        const double before = acc ? acc->timeNs : 0.0;
+        const arch::EngineStats before = acc ? *acc : arch::EngineStats{};
         outs = eng.imageIds
             ? eng.replicas[0]->mvmKeyed(q, 0, p, keys.data(), acc,
                                         per_out, &tp)
             : eng.replicas[0]->mvmBatch(q, acc, &tp);
-        if (eng.onPhase)
-            eng.onPhase(0, acc->timeNs - before,
-                        p * static_cast<uint64_t>(rows));
+        if (eng.onPhase) {
+            PhaseSample ps;
+            ps.adcNs = acc->timeNs - before.timeNs;
+            ps.quantValues = p * static_cast<uint64_t>(rows);
+            ps.bitCycles = acc->bitCycles - before.bitCycles;
+            ps.skippedCycles = acc->skippedCycles - before.skippedCycles;
+            eng.onPhase(0, ps);
+        }
     } else {
         // Replica r takes the contiguous presentation slice
         // [floor(p*r/R), floor(p*(r+1)/R)). Slices run (and fold
@@ -201,7 +221,8 @@ replicatedMvm(const StageEngines &eng,
             const size_t lo = p * r / r_count;
             const size_t hi = p * (r + 1) / r_count;
             arch::CrossbarEngine &e = *eng.replicas[r];
-            const double before = acc ? acc->timeNs : 0.0;
+            const arch::EngineStats before =
+                acc ? *acc : arch::EngineStats{};
             std::vector<std::vector<double>> part;
             if (eng.imageIds) {
                 part = e.mvmKeyed(q, lo, hi, keys.data(), acc, per_out,
@@ -210,9 +231,16 @@ replicatedMvm(const StageEngines &eng,
                 e.seekPresentationStream(base + lo);
                 part = e.mvmRange(q, lo, hi, acc, &tp);
             }
-            if (eng.onPhase)
-                eng.onPhase(static_cast<int>(r), acc->timeNs - before,
-                            (hi - lo) * static_cast<uint64_t>(rows));
+            if (eng.onPhase) {
+                PhaseSample ps;
+                ps.adcNs = acc->timeNs - before.timeNs;
+                ps.quantValues =
+                    (hi - lo) * static_cast<uint64_t>(rows);
+                ps.bitCycles = acc->bitCycles - before.bitCycles;
+                ps.skippedCycles =
+                    acc->skippedCycles - before.skippedCycles;
+                eng.onPhase(static_cast<int>(r), ps);
+            }
             for (auto &v : part)
                 outs.push_back(std::move(v));
         }

@@ -19,6 +19,7 @@
 
 #include "admm/compressor.hh"
 #include "arch/engine.hh"
+#include "arch/zero_skip.hh"
 
 namespace forms::sim {
 
@@ -45,6 +46,17 @@ struct StageScale
      * sim::Calibrator; normal inference leaves it null).
      */
     std::vector<float> *record = nullptr;
+
+    /**
+     * Calibration hook for the bit-level activity model: when set,
+     * every quantized presentation's fragment EICs (consecutive-row
+     * fragments of `eicFragSize`, matching the engine's input
+     * fragmenting) are folded into this histogram, in presentation
+     * order. Feeds CalibEntry::avgEic; normal inference leaves it
+     * null.
+     */
+    arch::EicStats *eicStats = nullptr;
+    int eicFragSize = 0;
 };
 
 /**
@@ -79,6 +91,23 @@ quantizePresentations(ThreadPool &tp, int64_t count, int64_t rows,
                       arch::EngineStats *per_image = nullptr);
 
 /**
+ * One replica-slice's worth of modeled work, reported through the
+ * per-phase timing sinks (StageEngines::onPhase here, PhaseSink in
+ * sim/graph_exec.hh): the ADC-limited model-time delta the slice
+ * added, the activation scalars it quantized, and the engine's input
+ * bit-cycle counters — presented vs zero-skip-elided — so the
+ * pipeline timing layer can report each ADC phase's measured EIC
+ * fraction without re-deriving it.
+ */
+struct PhaseSample
+{
+    double adcNs = 0.0;
+    uint64_t quantValues = 0;
+    uint64_t bitCycles = 0;      //!< input bit cycles presented
+    uint64_t skippedCycles = 0;  //!< bit cycles elided by zero-skip
+};
+
+/**
  * The programmed engines executing one matrix stage. `replicas[0]` is
  * the primary engine; additional entries are replica engines on other
  * chips, all programmed from the same weights with the same config
@@ -105,13 +134,12 @@ struct StageEngines
 
     /**
      * Optional per-phase timing sink, fired once per replica in
-     * ascending replica order: (replica index, ADC-limited model-time
-     * delta this slice added, activation values quantized for this
-     * slice). The pipeline runtime turns these into per-phase busy
-     * intervals for the intra-chip tile pipeline model
+     * ascending replica order with (replica index, the slice's
+     * PhaseSample). The pipeline runtime turns these into per-phase
+     * busy intervals for the intra-chip tile pipeline model
      * (sim/perf_model.hh); plain inference leaves it unset.
      */
-    std::function<void(int, double, uint64_t)> onPhase;
+    std::function<void(int, const PhaseSample &)> onPhase;
 
     /**
      * Stable per-image presentation-stream ids, one per image of the

@@ -240,6 +240,7 @@ TEST(CalibrationTable, SerializationRoundTripsExactly)
 
     EXPECT_EQ(loaded.inputBits(), c.table.inputBits());
     ASSERT_EQ(loaded.size(), c.table.size());
+    uint64_t measured = 0;
     for (size_t i = 0; i < c.table.size(); ++i) {
         const auto &a = c.table.entries()[i];
         const auto &b = loaded.entries()[i];
@@ -248,7 +249,58 @@ TEST(CalibrationTable, SerializationRoundTripsExactly)
         // Hex floats round-trip bit-exactly.
         EXPECT_EQ(a.range, b.range);
         EXPECT_EQ(a.scale, b.scale);
+        // The EIC annotation rides along, also bit-exactly.
+        EXPECT_EQ(a.avgEic, b.avgEic);
+        EXPECT_EQ(a.eicFragments, b.eicFragments);
+        measured += a.eicFragments;
     }
+    // The calibrator measures bit activity on every observed node, so
+    // the round trip above actually exercised the eic lines.
+    EXPECT_GT(measured, 0u);
+}
+
+TEST(CalibrationTable, V1FilesWithoutEicLinesStillLoad)
+{
+    // Tables serialized before the EIC annotation existed carry the
+    // v1 magic and no eic lines; they must load as unmeasured entries
+    // (density falls back to 1.0 in the EicTime work model).
+    std::stringstream ss;
+    ss << "forms-calibration v1\n"
+          "input-bits 8\n"
+          "scale conv1 24 0x1p+0 0x1.010102p-8\n"
+          "end\n";
+    const auto loaded = compile::CalibrationTable::load(ss);
+    EXPECT_EQ(loaded.inputBits(), 8);
+    ASSERT_EQ(loaded.size(), 1u);
+    const auto &e = loaded.entries()[0];
+    EXPECT_EQ(e.node, "conv1");
+    EXPECT_EQ(e.observations, 24u);
+    EXPECT_EQ(e.avgEic, 0.0f);
+    EXPECT_EQ(e.eicFragments, 0u);
+}
+
+TEST(CalibrationTable, AttachToStampsEicDensities)
+{
+    CalibratedResNet c(581);
+    c.table.attachTo(c.graph);
+    const float bits = static_cast<float>(c.table.inputBits());
+    size_t stamped = 0;
+    for (int id = 0; id < c.graph.capacity(); ++id) {
+        if (!c.graph.alive(id))
+            continue;
+        const compile::Node &n = c.graph.node(id);
+        if (n.op != compile::Op::Conv && n.op != compile::Op::Dense)
+            continue;
+        const compile::CalibEntry *e = c.table.find(n.name);
+        ASSERT_NE(e, nullptr) << n.name;
+        ASSERT_GT(e->eicFragments, 0u) << n.name;
+        EXPECT_EQ(n.eicDensity, e->avgEic / bits) << n.name;
+        EXPECT_GT(n.eicDensity, 0.0f) << n.name;
+        EXPECT_LE(n.eicDensity, 1.0f) << n.name;
+        ++stamped;
+    }
+    EXPECT_GT(stamped, 0u);
+    EXPECT_NE(c.graph.dump().find("eic_density="), std::string::npos);
 }
 
 TEST(CalibrationTable, AttachToCarriesScalesOnTheGraph)

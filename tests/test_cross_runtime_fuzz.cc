@@ -14,9 +14,13 @@
  * (DESIGN.md §3–§5). A serving axis additionally replays a subset of
  * graphs through serve::Server — random arrival orders and batch
  * deadlines — and requires every dynamically batched response to
- * reproduce the offline logits bitwise (docs/SERVING.md). Hand-picked
- * networks only cover the topologies someone thought of; the fuzz
- * covers the ones nobody did.
+ * reproduce the offline logits bitwise (docs/SERVING.md). An EIC axis
+ * re-partitions every calibrated graph under WorkModel::EicTime with
+ * the measured bit densities attached, pinning the contract that the
+ * zero-skip timing model moves only modeled time, never numerics
+ * (docs/SCHEDULING.md). Hand-picked networks only cover the
+ * topologies someone thought of; the fuzz covers the ones nobody
+ * did.
  */
 
 #include <gtest/gtest.h>
@@ -180,6 +184,7 @@ noisyConfig(ThreadPool *pool)
 TEST(CrossRuntimeFuzz, GraphAndPipelineRuntimesAgreeBitwise)
 {
     int residual_graphs = 0, static_graphs = 0, replicated_graphs = 0;
+    int eic_graphs = 0;
     for (int g = 0; g < kGraphs + kStemGraphs; ++g) {
         Rng rng(9000 + 13 * static_cast<uint64_t>(g));
         SCOPED_TRACE("fuzz graph " + std::to_string(g));
@@ -280,6 +285,39 @@ TEST(CrossRuntimeFuzz, GraphAndPipelineRuntimesAgreeBitwise)
         }
         EXPECT_EQ(prep.nodes.presentations, grep.presentations);
 
+        // EIC-timing axis: stamp the calibrated bit densities on the
+        // graph and re-partition under WorkModel::EicTime — the
+        // annotations move only modeled time, so even when the
+        // zero-skip-aware DP picks a different partition the logits
+        // and per-node stats must stay bitwise identical to the
+        // reference.
+        if (use_static) {
+            ++eic_graphs;
+            table.attachTo(graph);
+            bool stamped = false;
+            for (int id = 0; id < graph.capacity(); ++id)
+                if (graph.alive(id) &&
+                    graph.node(id).eicDensity > 0.0f)
+                    stamped = true;
+            EXPECT_TRUE(stamped)
+                << "calibration left no EIC density on the graph";
+            compile::ScheduleConfig ecfg = scfg;
+            ecfg.workModel = compile::WorkModel::EicTime;
+            sim::PipelineRuntime epr(
+                graph, compile::Schedule::partition(graph, ecfg),
+                states, pcfg);
+            sim::PipelineReport erep;
+            const Tensor eic_logits = epr.forward(batch, &erep);
+            EXPECT_TRUE(eic_logits.equals(ref))
+                << "EIC-aware schedule changed the numerics: chips="
+                << chips << " microBatch=" << micro_batch << "\n"
+                << graph.dump();
+            ASSERT_EQ(erep.nodes.layers.size(), grep.layers.size());
+            for (size_t i = 0; i < grep.layers.size(); ++i)
+                expectStatsIdentical(erep.nodes.layers[i].stats,
+                                     grep.layers[i].stats);
+        }
+
         // Observer axis: the same pipeline with a trace session and a
         // metrics registry attached must produce bit-identical logits
         // and per-node stats — installing observation changes nothing
@@ -371,6 +409,7 @@ TEST(CrossRuntimeFuzz, GraphAndPipelineRuntimesAgreeBitwise)
     EXPECT_GE(residual_graphs, 5);
     EXPECT_GE(static_graphs, 6);
     EXPECT_GE(replicated_graphs, 4);
+    EXPECT_GE(eic_graphs, 6);
 }
 
 } // namespace

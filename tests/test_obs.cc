@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 
@@ -341,6 +342,36 @@ TEST(RunManifest, EnvOverrideAndSerializedShape)
               std::string::npos);
     EXPECT_NE(s.find("\"git_sha\":\"cafef00d\""), std::string::npos);
     EXPECT_NE(s.find("\"config\":{\"seed\":\"41\""), std::string::npos);
+}
+
+TEST(RunManifest, GitShaTracksTheBuiltCommitNotConfigureTime)
+{
+    // Regression: the sha used to be captured when CMake configured,
+    // so artifacts of every later build were attributed to whatever
+    // commit happened to be checked out at configure time. The header
+    // is now stamped on every build; without the env override the
+    // manifest must name the repository's current HEAD.
+    unsetenv("FORMS_GIT_SHA");
+    obs::RunManifest m = obs::RunManifest::collect("unit_test");
+    ASSERT_FALSE(m.gitSha.empty());
+    if (m.gitSha == "unknown")
+        GTEST_SKIP() << "built outside a git checkout";
+
+    FILE *p = popen("git -C \"" FORMS_SOURCE_DIR
+                    "\" rev-parse --short HEAD 2>/dev/null",
+                    "r");
+    ASSERT_NE(p, nullptr);
+    char live[64] = {0};
+    const bool read_ok = fgets(live, sizeof(live), p) != nullptr;
+    const int status = pclose(p);
+    if (!read_ok || status != 0)
+        GTEST_SKIP() << "git not runnable against " FORMS_SOURCE_DIR;
+    std::string head(live);
+    while (!head.empty() && (head.back() == '\n' || head.back() == '\r'))
+        head.pop_back();
+    ASSERT_FALSE(head.empty());
+    EXPECT_EQ(m.gitSha, head)
+        << "manifest sha is stale — the build did not restamp it";
 }
 
 } // namespace

@@ -9,6 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "sim/perf_model.hh"
 
 namespace forms::sim {
@@ -127,6 +130,51 @@ TEST_F(PerfFixture, EffectiveBitsHonoursZeroSkip)
     ArchModel noskip = ArchModel::formsFull(8, false);
     EXPECT_LT(model.effectiveBitsFor(forms), 16.0);
     EXPECT_DOUBLE_EQ(model.effectiveBitsFor(noskip), 16.0);
+}
+
+TEST_F(PerfFixture, EffectiveBitsKeyedOnInputGridNotJustFragSize)
+{
+    // Regression: the EIC cache used to key on fragment size alone,
+    // so whichever inputBits was queried first poisoned every later
+    // query sharing the fragment size. An 8-bit grid has strictly
+    // fewer effective cycles than the 16-bit one.
+    ArchModel b16 = ArchModel::formsFull(8, true);
+    ArchModel b8 = b16;
+    b8.inputBits = 8;
+    const double e16 = model.effectiveBitsFor(b16);
+    const double e8 = model.effectiveBitsFor(b8);
+    EXPECT_LT(e8, e16);
+    EXPECT_LE(e8, 8.0);
+    // Re-query in both orders: cached replies stay on their own grid.
+    EXPECT_DOUBLE_EQ(model.effectiveBitsFor(b16), e16);
+    EXPECT_DOUBLE_EQ(model.effectiveBitsFor(b8), e8);
+}
+
+TEST_F(PerfFixture, EffectiveBitsSafeUnderConcurrentQueries)
+{
+    // Regression: the cache was a mutable vector appended from a
+    // const method with no lock — concurrent evaluate() calls raced.
+    // The estimate is a deterministic fixed-seed computation, so
+    // every thread must reproduce a fresh model's answer exactly.
+    ArchModel b16 = ArchModel::formsFull(8, true);
+    ArchModel b8 = b16;
+    b8.inputBits = 8;
+    const double want16 = PerfModel().effectiveBitsFor(b16);
+    const double want8 = PerfModel().effectiveBitsFor(b8);
+    constexpr int kThreads = 8;
+    std::vector<double> got(kThreads * 2, 0.0);
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t)
+        workers.emplace_back([&, t] {
+            got[2 * t] = model.effectiveBitsFor(t % 2 ? b8 : b16);
+            got[2 * t + 1] = model.effectiveBitsFor(t % 2 ? b16 : b8);
+        });
+    for (auto &w : workers)
+        w.join();
+    for (int t = 0; t < kThreads; ++t) {
+        EXPECT_DOUBLE_EQ(got[2 * t], t % 2 ? want8 : want16);
+        EXPECT_DOUBLE_EQ(got[2 * t + 1], t % 2 ? want16 : want8);
+    }
 }
 
 TEST_F(PerfFixture, Isaac32NeedsMostCrossbars)

@@ -349,6 +349,126 @@ TEST(Schedule, ReplicationUsesChipsBeyondTheLiveNodeCount)
     EXPECT_EQ(c.chips(), static_cast<int>(n.graph.size()));
 }
 
+/**
+ * Four identical convs in a chain: under AdcTime every conv costs the
+ * same, so density annotations are the only thing EicTime can differ
+ * on.
+ */
+struct UniformConvChain
+{
+    std::unique_ptr<nn::Network> net;
+    compile::Graph graph;
+
+    explicit UniformConvChain(uint64_t seed)
+    {
+        Rng rng(seed);
+        net = std::make_unique<nn::Network>();
+        net->emplace<nn::Conv2D>("c0", 4, 4, 3, 1, 1, rng);
+        net->emplace<nn::ReLU>("r0");
+        net->emplace<nn::Conv2D>("c1", 4, 4, 3, 1, 1, rng);
+        net->emplace<nn::ReLU>("r1");
+        net->emplace<nn::Conv2D>("c2", 4, 4, 3, 1, 1, rng);
+        net->emplace<nn::ReLU>("r2");
+        net->emplace<nn::Conv2D>("c3", 4, 4, 3, 1, 1, rng);
+        graph = compile::lowerNetwork(*net);
+        graph.inferShapes({4, 16, 16});
+    }
+
+    int find(const std::string &name) const
+    {
+        for (int id = 0; id < graph.capacity(); ++id)
+            if (graph.alive(id) && graph.node(id).name == name)
+                return id;
+        return -1;
+    }
+
+    void setDensity(const std::string &name, float d)
+    {
+        const int id = find(name);
+        ASSERT_GE(id, 0) << name;
+        graph.node(id).eicDensity = d;
+    }
+};
+
+TEST(EicTimeWorkModel, NodeWorkScalesAdcTimeByMeasuredDensity)
+{
+    UniformConvChain n(61);
+    compile::Node &conv = n.graph.node(n.find("c1"));
+    const double adc = compile::nodeWork(conv, compile::WorkModel::AdcTime);
+    ASSERT_GT(adc, 0.0);
+
+    // Unmeasured (density 0) falls back to plain AdcTime.
+    EXPECT_DOUBLE_EQ(
+        compile::nodeWork(conv, compile::WorkModel::EicTime), adc);
+    conv.eicDensity = 0.25f;
+    EXPECT_DOUBLE_EQ(
+        compile::nodeWork(conv, compile::WorkModel::EicTime),
+        adc * 0.25);
+    // The Macs model ignores the annotation entirely.
+    conv.eicDensity = 0.25f;
+    EXPECT_DOUBLE_EQ(compile::nodeWork(conv, compile::WorkModel::Macs),
+                     compile::nodeWork(conv));
+
+    // Functional ops charge output elements under both timed models.
+    const compile::Node &relu = n.graph.node(n.find("r1"));
+    EXPECT_DOUBLE_EQ(
+        compile::nodeWork(relu, compile::WorkModel::EicTime),
+        compile::nodeWork(relu, compile::WorkModel::AdcTime));
+}
+
+TEST(EicTimeWorkModel, UnannotatedGraphPartitionsExactlyLikeAdcTime)
+{
+    ResNetGraph r(62);
+    compile::ScheduleConfig adc;
+    adc.chips = 4;
+    adc.workModel = compile::WorkModel::AdcTime;
+    compile::ScheduleConfig eic = adc;
+    eic.workModel = compile::WorkModel::EicTime;
+    const auto a = compile::Schedule::partition(r.graph, adc);
+    const auto b = compile::Schedule::partition(r.graph, eic);
+    ASSERT_EQ(a.stages(), b.stages());
+    for (int id = 0; id < r.graph.capacity(); ++id)
+        EXPECT_EQ(a.chipOf(id), b.chipOf(id)) << "node " << id;
+}
+
+TEST(EicTimeWorkModel, SparseDensitiesShiftTheCutTowardDenseNodes)
+{
+    // Dense stem (density 1), sparse tail (0.25): AdcTime sees four
+    // equal convs and splits them 2/2; EicTime sees works
+    // 1/.25/.25/.25 and gives the dense stem a chip of its own.
+    UniformConvChain n(63);
+    n.setDensity("c0", 1.0f);
+    n.setDensity("c1", 0.25f);
+    n.setDensity("c2", 0.25f);
+    n.setDensity("c3", 0.25f);
+
+    compile::ScheduleConfig adc;
+    adc.chips = 2;
+    adc.workModel = compile::WorkModel::AdcTime;
+    compile::ScheduleConfig eic = adc;
+    eic.workModel = compile::WorkModel::EicTime;
+    const auto a = compile::Schedule::partition(n.graph, adc);
+    const auto b = compile::Schedule::partition(n.graph, eic);
+
+    const int c1 = n.find("c1");
+    EXPECT_EQ(a.chipOf(c1), 0) << "AdcTime should balance convs 2/2";
+    EXPECT_EQ(b.chipOf(c1), 1)
+        << "EicTime should cut right after the dense stem";
+    EXPECT_EQ(b.chipOf(n.find("c0")), 0);
+    EXPECT_EQ(b.chipOf(n.find("c3")), 1);
+
+    // Flipping the sparsity pattern flips the cut: a sparse prefix
+    // and dense tail pushes most convs onto chip 0.
+    UniformConvChain m(63);
+    m.setDensity("c0", 0.25f);
+    m.setDensity("c1", 0.25f);
+    m.setDensity("c2", 0.25f);
+    m.setDensity("c3", 1.0f);
+    const auto c = compile::Schedule::partition(m.graph, eic);
+    EXPECT_EQ(c.chipOf(m.find("c2")), 0);
+    EXPECT_EQ(c.chipOf(m.find("c3")), 1);
+}
+
 TEST(Schedule, ReplicatedPartitionIsDeterministic)
 {
     ResNetGraph r(44);

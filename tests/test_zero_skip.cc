@@ -163,5 +163,19 @@ TEST(EicStats, HistogramBins)
     EXPECT_EQ(s.histogram().bin(0), 1u);
 }
 
+TEST(EicStatsDeathTest, RecordVectorNamesOutOfRangeValue)
+{
+    // A value off the input grid used to trip an opaque internal
+    // assert deep in the histogram; the boundary check must name the
+    // offending value, its position and the grid instead.
+    EicStats s(8);
+    const std::vector<uint32_t> vals = {1, 2, 300, 4};
+    EXPECT_DEATH(s.recordVector(vals, 2), "300.*index 2.*8-bit");
+    // The full grid range itself is fine.
+    const std::vector<uint32_t> ok = {0, 255};
+    s.recordVector(ok, 2);
+    EXPECT_EQ(s.histogram().total(), 1u);
+}
+
 } // namespace
 } // namespace forms::arch
