@@ -67,6 +67,16 @@ SCHEMAS = {
                   "rejected", "p50_us", "p95_us", "p99_us",
                   "mean_batch"]),
     },
+    "BENCH_resilience.json": {
+        "bench": "resilience",
+        "keys": ["threads", "network", "test_images", "fp_accuracy",
+                 "clean_accuracy", "recovery", "fault_points",
+                 "stuck_points", "hetero_points"],
+        "list": ("fault_points",
+                 ["column_kill_rate", "spare_xbars",
+                  "accuracy_faulted", "accuracy_remapped",
+                  "recovered_fraction"]),
+    },
     "BENCH_kernels.json": {
         "bench": "micro_kernels",
         "keys": ["dispatch", "build", "bit_identical", "kernels"],
@@ -125,10 +135,59 @@ def check_pipeline_depth(doc):
     return errors
 
 
+# BENCH_resilience.json carries a recovery-gate object and a
+# heterogeneous-fleet sweep the generic list check cannot reach. The
+# gate must not only be present but *passing*: a CI artifact recording
+# a failed recovery gate or a fleet that changed the numerics is a
+# regression even if the producing process was tricked into exit 0.
+RESILIENCE_RECOVERY_KEYS = ["column_kill_rate", "spare_xbars",
+                            "faulted_accuracy", "remapped_accuracy",
+                            "recovered_fraction", "required_fraction",
+                            "faulty_crossbars", "remapped_crossbars",
+                            "pass"]
+RESILIENCE_HETERO_KEYS = ["label", "chips", "modeled_fps",
+                          "makespan_ns", "transfer_ns",
+                          "bit_identical"]
+
+
+def check_resilience_depth(doc):
+    errors = []
+    recovery = doc.get("recovery")
+    if not isinstance(recovery, dict):
+        errors.append("'recovery' is missing or not an object")
+    else:
+        for key in RESILIENCE_RECOVERY_KEYS:
+            if key not in recovery:
+                errors.append(f"recovery missing {key!r}")
+        if recovery.get("pass") is not True:
+            errors.append("recovery gate did not pass")
+        frac = recovery.get("recovered_fraction")
+        need = recovery.get("required_fraction")
+        if isinstance(frac, (int, float)) and \
+                isinstance(need, (int, float)) and frac < need:
+            errors.append(f"recovered_fraction {frac} below required"
+                          f" {need}")
+    fleets = doc.get("hetero_points")
+    if not isinstance(fleets, list) or not fleets:
+        errors.append("'hetero_points' is missing or empty")
+    else:
+        for i, fleet in enumerate(fleets):
+            for key in RESILIENCE_HETERO_KEYS:
+                if key not in fleet:
+                    errors.append(f"hetero_points[{i}] missing"
+                                  f" {key!r}")
+            if fleet.get("bit_identical") is not True:
+                errors.append(f"hetero_points[{i}]"
+                              f" ({fleet.get('label')!r}) changed the"
+                              f" numerics")
+    return errors
+
+
 # Artifacts whose nesting the generic check cannot reach get a
 # dedicated validator, run after the generic one.
 DEEP_CHECKS = {
     "BENCH_pipeline.json": check_pipeline_depth,
+    "BENCH_resilience.json": check_resilience_depth,
 }
 
 

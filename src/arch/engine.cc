@@ -99,6 +99,54 @@ CrossbarEngine::CrossbarEngine(const MappedLayer &layer, EngineConfig cfg)
                              static_cast<size_t>(tile.cellCols) +
                          static_cast<size_t>(cc)] =
                     arr.cellAnalogLevel(r, cc);
+
+        // Hard-fault overlay: deterministic per (faultKey, physId),
+        // applied to the snapshot only — the programmed arrays (and
+        // their energy accounting) are what the write path produced.
+        if (cfg_.faults && cfg_.faults->config().any()) {
+            const int phys = xb.physId >= 0 ? xb.physId
+                                            : static_cast<int>(xi);
+            const reram::CrossbarFaults f = cfg_.faults->draw(
+                cfg_.faultKey, phys, layer_.cfg.xbarRows,
+                layer_.cfg.xbarCols);
+            const double lrs =
+                static_cast<double>(cfg_.cell.maxLevel());
+            bool any_here = false;
+            for (int r = 0; r < xb.rows; ++r) {
+                for (int cc = 0; cc < tile.cellCols; ++cc) {
+                    double &lvl =
+                        tile.lvl[static_cast<size_t>(r) *
+                                     static_cast<size_t>(tile.cellCols) +
+                                 static_cast<size_t>(cc)];
+                    if (f.columnDead(cc)) {
+                        lvl = 0.0;
+                        any_here = true;
+                        continue;
+                    }
+                    switch (f.at(r, cc)) {
+                      case reram::FaultKind::StuckLrs:
+                        lvl = lrs;
+                        any_here = true;
+                        ++faultyCells_;
+                        break;
+                      case reram::FaultKind::StuckHrs:
+                        lvl = 0.0;
+                        any_here = true;
+                        ++faultyCells_;
+                        break;
+                      case reram::FaultKind::Drift:
+                        lvl *= f.driftAt(r, cc);
+                        any_here = true;
+                        ++faultyCells_;
+                        break;
+                      case reram::FaultKind::None:
+                        break;
+                    }
+                }
+            }
+            if (any_here)
+                ++faultyCrossbars_;
+        }
         tile.fragReadEpj.resize(static_cast<size_t>(xb.fragsUsed));
         for (int f = 0; f < xb.fragsUsed; ++f) {
             const int rows_here =

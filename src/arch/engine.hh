@@ -22,6 +22,7 @@
 #include "common/threadpool.hh"
 #include "reram/adc.hh"
 #include "reram/crossbar.hh"
+#include "reram/faults.hh"
 
 namespace forms::arch {
 
@@ -63,6 +64,20 @@ struct EngineConfig
      * bit-identical to serial regardless of thread count.
      */
     double readNoiseSigma = 0.0;
+
+    /**
+     * Optional hard-fault model (reram/faults.hh). When set, the
+     * realized conductance tiles are overlaid at construction with
+     * the deterministic fault pattern of (faults->config().seed,
+     * faultKey, crossbar physId): stuck-at-LRS cells read as the
+     * device's maximum level, stuck-at-HRS cells and dead columns as
+     * 0, drifted cells as programmed x factor. Borrowed pointer, not
+     * owned; null means fault-free. faultKey names this engine's
+     * logical owner (the graph node id in the compiled runtimes) so
+     * every runtime and replica draws an identical pattern.
+     */
+    const reram::FaultMap *faults = nullptr;
+    uint64_t faultKey = 0;
 
     /**
      * Kernel dispatch for this engine's hot loop, resolved once at
@@ -221,6 +236,12 @@ class CrossbarEngine
 
     const MappedLayer &layer() const { return layer_; }
 
+    /** Crossbars whose used window carries at least one fault. */
+    int64_t faultyCrossbars() const { return faultyCrossbars_; }
+
+    /** Stuck or drifted cells within the used windows. */
+    int64_t faultyCells() const { return faultyCells_; }
+
   private:
     /**
      * Execute one presentation. Const and self-contained (all scratch
@@ -257,6 +278,8 @@ class CrossbarEngine
     int outputExtent_ = 0;         //!< 1 + max natural output index
     double worstStepNs_ = 0.0;     //!< slowest crossbar's per-step time
     uint64_t nextPresentation_ = 0;
+    int64_t faultyCrossbars_ = 0;  //!< tiles overlaid with any fault
+    int64_t faultyCells_ = 0;      //!< stuck/drifted cells (used window)
 };
 
 /**

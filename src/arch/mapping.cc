@@ -57,6 +57,7 @@ mapLayer(const admm::LayerState &state, const MappingConfig &cfg)
     for (int64_t gr = 0; gr < grid_r; ++gr) {
         for (int64_t gc = 0; gc < grid_c; ++gc) {
             MappedCrossbar xb;
+            xb.physId = static_cast<int>(layer.crossbars.size());
             xb.rows = static_cast<int>(
                 std::min<int64_t>(cfg.xbarRows, k_rows - gr * cfg.xbarRows));
             xb.weightCols = static_cast<int>(std::min<int64_t>(

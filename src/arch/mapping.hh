@@ -28,6 +28,7 @@ struct MappingConfig
     int weightBits = 8;     //!< magnitude bits
     int inputBits = 16;
     int fragSize = 8;
+    int spareXbars = 0;     //!< spare crossbars per layer for remapping
 
     /** Cell columns per weight. */
     int cellsPerWeight() const
@@ -58,6 +59,8 @@ struct MappedCrossbar
     std::vector<uint32_t> magnitude;//!< rows x weightCols, row-major
     std::vector<int8_t> fragSign;   //!< per (weightCol, fragment)
     int fragsUsed = 0;   //!< vertical fragments actually populated
+    int physId = -1;     //!< physical crossbar id (primaries start at 0;
+                         //!< remapping points this at a spare)
 
     uint32_t mag(int r, int wc) const
     {

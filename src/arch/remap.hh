@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Spare-crossbar remapping (fault tolerance for dead bitlines).
+ *
+ * A mapped layer owns `MappingConfig::spareXbars` physically distinct
+ * spare crossbars in addition to its primaries. When a primary's fault
+ * draw kills a cell column the fragments use, the remap pass reroutes
+ * that whole tile to a clean spare by swapping its *physical identity*
+ * only: the crossbar keeps its position in `MappedLayer::crossbars`,
+ * its row/column indices and its fragment signs, so the accumulation
+ * order — and therefore `referenceMvm` and every bitwise determinism
+ * contract — is untouched. Only the conductances actually programmed
+ * change (to the spare's fault pattern, which is clean in the used
+ * window by construction).
+ *
+ * Only column-kill faults trigger remapping; stuck-at and drift faults
+ * degrade accuracy but do not lose whole output columns, so they stay
+ * in place (matching the paper's variation-tolerance framing).
+ */
+
+#ifndef FORMS_ARCH_REMAP_HH
+#define FORMS_ARCH_REMAP_HH
+
+#include "arch/mapping.hh"
+#include "reram/faults.hh"
+
+namespace forms::arch {
+
+/** One rerouted tile. */
+struct RemapEntry
+{
+    int crossbar = 0;   //!< index into MappedLayer::crossbars
+    int fromPhys = 0;   //!< original physical id
+    int toPhys = 0;     //!< spare physical id now programmed
+    int deadColumn = 0; //!< first dead used cell column that forced it
+};
+
+/** Outcome of remapping one layer. */
+struct RemapReport
+{
+    int faultyCrossbars = 0;   //!< primaries with a dead used column
+    int remappedCrossbars = 0; //!< tiles moved onto spares
+    int sparesUsed = 0;        //!< spares consumed (incl. dead spares)
+    int sparesLeft = 0;        //!< spare budget remaining
+    std::vector<RemapEntry> entries;
+
+    void
+    merge(const RemapReport &o)
+    {
+        faultyCrossbars += o.faultyCrossbars;
+        remappedCrossbars += o.remappedCrossbars;
+        sparesUsed += o.sparesUsed;
+        sparesLeft += o.sparesLeft;
+        entries.insert(entries.end(), o.entries.begin(),
+                       o.entries.end());
+    }
+};
+
+/**
+ * Reroute every crossbar of `layer` whose used cell columns land on a
+ * dead physical column to a clean spare. Spares that are themselves
+ * dead in the used window are burned (consumed but skipped). fatal()s
+ * naming the node, crossbar and column when the spare budget runs out.
+ *
+ * @param layer the mapped layer; physIds are rewritten in place
+ * @param faults the fleet fault model
+ * @param fault_key the layer's fault identity (graph node id)
+ * @param node_name human-readable owner for diagnostics
+ */
+RemapReport remapFaultyCrossbars(MappedLayer &layer,
+                                 const reram::FaultMap &faults,
+                                 uint64_t fault_key,
+                                 const char *node_name);
+
+} // namespace forms::arch
+
+#endif // FORMS_ARCH_REMAP_HH

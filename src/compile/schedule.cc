@@ -79,17 +79,24 @@ isMatrix(Op op)
     return op == Op::Conv || op == Op::Dense;
 }
 
-/** Lexicographic (maxWork, cutBytes) objective value. */
+/**
+ * Lexicographic (maxWork, cutCost) objective value. cutCost is the
+ * boundary traffic with each crossing weighted by the receiving
+ * chip's inverse relative link bandwidth; on a homogeneous fleet
+ * every weight is 1.0, so cutCost equals the integer byte count
+ * exactly (byte totals stay far below 2^53) and the tie-breaking is
+ * bit-identical to the historical int64 objective.
+ */
 struct Cost
 {
     double maxWork = std::numeric_limits<double>::infinity();
-    int64_t cutBytes = 0;
+    double cutCost = 0.0;
 
     bool betterThan(const Cost &o) const
     {
         if (maxWork != o.maxWork)
             return maxWork < o.maxWork;
-        return cutBytes < o.cutBytes;
+        return cutCost < o.cutCost;
     }
 };
 
@@ -164,19 +171,44 @@ Schedule::partition(const Graph &g, const ScheduleConfig &cfg)
     // DP feasible by construction.
     const int chips = std::min(
         requested, n + eligible * (max_width - 1));
-    std::vector<double> capacity = cfg.capacity;
-    if (capacity.empty()) {
-        capacity.assign(static_cast<size_t>(chips), 1.0);
-    } else if (static_cast<int>(capacity.size()) != cfg.chips) {
-        fatal("partition: capacity vector has %zu entries for %d chips",
-              capacity.size(), cfg.chips);
+
+    // Resolve per-chip cost vectors: explicit cfg.chipSpecs wins,
+    // then the legacy scalar capacity vector, then a homogeneous
+    // fleet. The DP only sees the model-dependent *effective*
+    // capacity — compute throughput for Macs, throughput x ADC rate
+    // for the ADC-latency models — and the inverse link weight.
+    std::vector<ChipSpec> specs = cfg.chipSpecs;
+    if (specs.empty()) {
+        if (!cfg.capacity.empty() &&
+            static_cast<int>(cfg.capacity.size()) != cfg.chips) {
+            fatal("partition: capacity vector has %zu entries for %d "
+                  "chips", cfg.capacity.size(), cfg.chips);
+        }
+        specs.assign(static_cast<size_t>(chips), ChipSpec{});
+        for (size_t s = 0;
+             s < cfg.capacity.size() && s < specs.size(); ++s)
+            specs[s].capacity = cfg.capacity[s];
+    } else if (static_cast<int>(specs.size()) != cfg.chips) {
+        fatal("partition: chipSpecs vector has %zu entries for %d "
+              "chips", specs.size(), cfg.chips);
     }
-    // When the chip count was clamped, the trailing capacities have
-    // no stage to describe.
-    capacity.resize(static_cast<size_t>(chips), 1.0);
+    // When the chip count was clamped, the trailing specs have no
+    // stage to describe.
+    specs.resize(static_cast<size_t>(chips), ChipSpec{});
+    const bool timed = cfg.workModel == WorkModel::AdcTime ||
+                       cfg.workModel == WorkModel::EicTime;
+    std::vector<double> capacity(static_cast<size_t>(chips), 1.0);
+    std::vector<double> inv_link(static_cast<size_t>(chips), 1.0);
     for (int s = 0; s < chips; ++s) {
-        if (capacity[static_cast<size_t>(s)] <= 0.0)
+        const ChipSpec &spec = specs[static_cast<size_t>(s)];
+        if (spec.capacity <= 0.0)
             fatal("partition: chip %d capacity must be positive", s);
+        if (spec.adcScale <= 0.0 || spec.linkIn <= 0.0)
+            fatal("partition: chip %d adcScale/linkIn must be "
+                  "positive", s);
+        capacity[static_cast<size_t>(s)] =
+            spec.capacity * (timed ? spec.adcScale : 1.0);
+        inv_link[static_cast<size_t>(s)] = 1.0 / spec.linkIn;
     }
     // Prefix sums of chip capacity so a replicated stage's pooled
     // capacity over chips [a, b) is O(1) to evaluate.
@@ -237,7 +269,7 @@ Schedule::partition(const Graph &g, const ScheduleConfig &cfg)
     std::vector<std::vector<From>> from(
         static_cast<size_t>(chips) + 1,
         std::vector<From>(static_cast<size_t>(n) + 1));
-    best[0][0] = Cost{0.0, 0};
+    best[0][0] = Cost{0.0, 0.0};
     for (int c = 1; c <= chips; ++c) {
         for (int i = 1; i <= n; ++i) {
             Cost pick;
@@ -252,9 +284,13 @@ Schedule::partition(const Graph &g, const ScheduleConfig &cfg)
                     (prefix[static_cast<size_t>(i)] -
                      prefix[static_cast<size_t>(j)]) /
                     capacity[static_cast<size_t>(c) - 1];
+                // The boundary's bytes land on this stage's (single)
+                // chip c-1; weight them by its inbound link.
                 const Cost cand{
                     std::max(prev.maxWork, stage_work),
-                    prev.cutBytes + cut[static_cast<size_t>(j)]};
+                    prev.cutCost +
+                        static_cast<double>(cut[static_cast<size_t>(j)]) *
+                            inv_link[static_cast<size_t>(c) - 1]};
                 if (cand.betterThan(pick)) {
                     pick = cand;
                     arg = {j, 1};
@@ -287,10 +323,15 @@ Schedule::partition(const Graph &g, const ScheduleConfig &cfg)
                         const double stage_work =
                             (prefix[static_cast<size_t>(i)] -
                              prefix[static_cast<size_t>(j)]) / pool_cap;
+                        // Bytes into a replicated stage land on its
+                        // first chip (the stage's primary).
                         const Cost cand{
                             std::max(prev.maxWork, stage_work),
-                            prev.cutBytes +
-                                cut[static_cast<size_t>(j)]};
+                            prev.cutCost +
+                                static_cast<double>(
+                                    cut[static_cast<size_t>(j)]) *
+                                    inv_link[static_cast<size_t>(
+                                        c - w)]};
                         if (cand.betterThan(pick)) {
                             pick = cand;
                             arg = {j, w};
@@ -324,6 +365,7 @@ Schedule::partition(const Graph &g, const ScheduleConfig &cfg)
 
     Schedule sched;
     sched.chips_ = chips;
+    sched.chipSpecs_ = specs;
     sched.stageOf_.assign(static_cast<size_t>(g.capacity()), -1);
     sched.chipNodes_.resize(static_cast<size_t>(chips));
     sched.chipWork_.assign(static_cast<size_t>(chips), 0.0);

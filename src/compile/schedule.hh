@@ -92,6 +92,37 @@ enum class WorkModel
     EicTime,  //!< AdcTime x measured input bit-density (zero-skip aware)
 };
 
+/**
+ * Per-chip cost vector for heterogeneous fleets. All factors are
+ * *relative* (1.0 = the reference chip); the absolute time and energy
+ * scales stay in the pipeline runtime's device models.
+ */
+struct ChipSpec
+{
+    /**
+     * Relative compute throughput. The balance objective divides a
+     * chip's work by its capacity, so a 2.0 chip takes roughly twice
+     * the nodes (all WorkModels).
+     */
+    double capacity = 1.0;
+
+    /**
+     * Relative ADC conversion rate. The timed models (AdcTime,
+     * EicTime) measure ADC-limited latency, so their effective
+     * capacity is capacity * adcScale; the Macs model measures
+     * compute volume and ignores it.
+     */
+    double adcScale = 1.0;
+
+    /**
+     * Relative inbound link bandwidth. The DP's cut tie-breaker
+     * weighs bytes crossing into this chip by 1 / linkIn, and the
+     * pipeline runtime divides the modeled transfer time into this
+     * chip's stage by it.
+     */
+    double linkIn = 1.0;
+};
+
 /** Partitioner knobs. */
 struct ScheduleConfig
 {
@@ -112,6 +143,16 @@ struct ScheduleConfig
      * to a smaller live node count, trailing entries are ignored.
      */
     std::vector<double> capacity;
+
+    /**
+     * Heterogeneous per-chip cost vectors (empty = homogeneous fleet).
+     * Takes precedence over the legacy `capacity` vector when both
+     * are set; must have exactly `chips` entries otherwise
+     * (partition() fatal()s). An all-default vector reproduces the
+     * homogeneous partitions bit-for-bit (tests/test_schedule.cc pins
+     * this).
+     */
+    std::vector<ChipSpec> chipSpecs;
 
     /**
      * Stage-replication gate: 0 (the default) disables replication
@@ -237,6 +278,14 @@ class Schedule
     /** True when any stage is replicated (width > 1). */
     bool replicated() const { return stages() < chips_; }
 
+    /**
+     * Resolved per-chip cost vectors, one per used chip: the
+     * validated cfg.chipSpecs, or specs synthesized from the legacy
+     * capacity vector (defaults elsewhere). The pipeline runtime
+     * scales its per-chip timing by these.
+     */
+    const std::vector<ChipSpec> &chipSpecs() const { return chipSpecs_; }
+
     /** Multi-line human-readable dump (one stage per line). */
     std::string dump() const;
 
@@ -250,6 +299,7 @@ class Schedule
     std::vector<Transfer> transfers_;
     std::vector<double> work_;              //!< per stage
     std::vector<double> chipWork_;          //!< per chip
+    std::vector<ChipSpec> chipSpecs_;       //!< per chip, resolved
 };
 
 /**

@@ -9,6 +9,14 @@ namespace forms::serve {
 
 Backend::~Backend() = default;
 
+ChipFailure::ChipFailure(int chip)
+    : chip_(chip),
+      msg_(chip >= 0
+               ? strfmt("chip %d died under the in-flight batch", chip)
+               : std::string("no serving chips left"))
+{
+}
+
 namespace {
 
 double
@@ -172,7 +180,16 @@ Server::runBatch(std::vector<Pending> batch)
     }
 
     std::vector<sim::RuntimeReport> per_request;
-    Tensor out = backend_.run(stacked, ids.data(), per_request);
+    Tensor out;
+    try {
+        out = backend_.run(stacked, ids.data(), per_request);
+    } catch (const ChipFailure &f) {
+        // The batch died with the chip: nothing was produced, so the
+        // whole batch goes back to the queue front (or terminal
+        // Status::Requeued for requests out of retry budget).
+        requeueBatch(std::move(batch), f.chip());
+        return;
+    }
     FORMS_ASSERT(out.dim(0) == static_cast<int64_t>(n) &&
                      per_request.size() == n,
                  "serve: backend returned %lld rows / %zu reports for "
@@ -194,6 +211,7 @@ Server::runBatch(std::vector<Pending> batch)
         r.batchSize = static_cast<int>(n);
         r.queueUs = usSince(batch[i].enqueued, dispatched);
         r.totalUs = usSince(batch[i].enqueued, done);
+        r.requeues = batch[i].requeues;
         if (cfg_.metrics) {
             cfg_.metrics->histObserve("serve.queue_us", r.queueUs);
             cfg_.metrics->histObserve("serve.latency_us", r.totalUs);
@@ -207,6 +225,47 @@ Server::runBatch(std::vector<Pending> batch)
         cfg_.metrics->histObserve("serve.batch_size",
                                   static_cast<double>(n));
     }
+}
+
+void
+Server::requeueBatch(std::vector<Pending> batch, int chip)
+{
+    uint64_t requeued = 0, dropped = 0;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        // Walk the batch back-to-front and push_front, so the batch
+        // re-enters the queue head in its original order, ahead of
+        // anything that arrived while it was in flight — a failed
+        // request never loses its place.
+        for (size_t i = batch.size(); i-- > 0;) {
+            Pending &p = batch[i];
+            if (p.requeues >= cfg_.maxRequeues) {
+                Response r;
+                r.status = Status::Requeued;
+                r.requestId = p.id;
+                r.requeues = p.requeues;
+                p.promise.set_value(std::move(r));
+                ++dropped;
+                continue;
+            }
+            ++p.requeues;
+            queue_.push_front(std::move(p));
+            ++requeued;
+        }
+    }
+    if (cfg_.metrics) {
+        cfg_.metrics->counterAdd("serve.chip_failures", 1);
+        if (requeued)
+            cfg_.metrics->counterAdd("serve.requeued", requeued);
+        if (dropped)
+            cfg_.metrics->counterAdd("serve.requeue_dropped", dropped);
+    }
+    warn("serve: %s; requeued %llu request(s), dropped %llu",
+         chip >= 0 ? strfmt("chip %d failed", chip).c_str()
+                   : "no serving chips left",
+         static_cast<unsigned long long>(requeued),
+         static_cast<unsigned long long>(dropped));
+    cv_.notify_all();
 }
 
 } // namespace forms::serve

@@ -38,8 +38,10 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <future>
 #include <mutex>
+#include <string>
 #include <thread>
 
 #include "sim/runtime.hh"
@@ -57,6 +59,40 @@ enum class Status
     Ok,        //!< served; logits/report/timings are valid
     Rejected,  //!< shed at admission: the pending queue was full
     ShutDown,  //!< submitted after (or during) shutdown()
+
+    /**
+     * Lost to chip failures: the request was requeued
+     * ServerConfig::maxRequeues times (each time a chip died under
+     * the batch serving it) and a further failure hit it — there is
+     * no healthy fleet left to retry on within budget.
+     */
+    Requeued,
+};
+
+/**
+ * Thrown by a Backend when a simulated chip dies under the batch it
+ * was serving: the batch's in-flight results are lost with the chip.
+ * The server catches it, pushes the batch back onto the *front* of
+ * the pending queue in its original order (no request lost, none
+ * duplicated) and bumps each request's requeue count; a request that
+ * already spent its ServerConfig::maxRequeues budget resolves with
+ * Status::Requeued instead. The throwing backend is expected to have
+ * re-partitioned itself onto the surviving fleet before throwing, so
+ * the retry lands on healthy chips (serve::FailoverBackend).
+ */
+class ChipFailure : public std::exception
+{
+  public:
+    explicit ChipFailure(int chip);
+
+    /** Fleet index of the chip that died (-1: no fleet left). */
+    int chip() const { return chip_; }
+
+    const char *what() const noexcept override { return msg_.c_str(); }
+
+  private:
+    int chip_;
+    std::string msg_;
 };
 
 /** What a request's future resolves to. */
@@ -79,6 +115,12 @@ struct Response
     int batchSize = 0;     //!< images in the micro-batch that served this
     double queueUs = 0.0;  //!< submit -> batch dispatch
     double totalUs = 0.0;  //!< submit -> response ready
+
+    /**
+     * Chip-failure requeues this request survived before resolving
+     * (0 on the happy path). On Status::Requeued, the spent budget.
+     */
+    int requeues = 0;
 };
 
 /**
@@ -107,6 +149,13 @@ struct ServerConfig
     int maxBatch = 8;          //!< flush when this many requests queued
     int64_t maxDelayUs = 1000; //!< flush when the oldest waited this long
     size_t queueCapacity = 64; //!< pending bound; 0 = unbounded
+
+    /**
+     * Chip-failure retry budget per request: how many times a request
+     * may be requeued (ChipFailure) before it resolves with
+     * Status::Requeued.
+     */
+    int maxRequeues = 2;
 
     /**
      * Metrics sink (borrowed, may be null). Records the serve.*
@@ -156,10 +205,12 @@ class Server
         Tensor image;
         std::promise<Response> promise;
         std::chrono::steady_clock::time_point enqueued;
+        int requeues = 0;   //!< chip-failure retries so far
     };
 
     void batcherLoop();
     void runBatch(std::vector<Pending> batch);
+    void requeueBatch(std::vector<Pending> batch, int chip);
 
     Backend &backend_;
     ServerConfig cfg_;

@@ -28,10 +28,20 @@ programReplicas(NodeExec &e, int id, admm::LayerState &st,
         obs::traceEnabled() ? "program " + e.name : std::string());
     // One mapping serves every replica — the quantize-and-map result
     // is a pure function of (state, config).
-    const arch::MappedLayer mapped = arch::mapLayer(st, cfg.mapping);
+    arch::MappedLayer mapped = arch::mapLayer(st, cfg.mapping);
+    arch::EngineConfig ecfg = cfg.engine;
+    if (cfg.faults) {
+        // Fault identity is the graph node id: stable across
+        // runtimes, replicas and partitionings.
+        ecfg.faults = cfg.faults;
+        ecfg.faultKey = static_cast<uint64_t>(id);
+        if (cfg.remapFaults)
+            e.remap = arch::remapFaultyCrossbars(
+                mapped, *cfg.faults, ecfg.faultKey, e.name.c_str());
+    }
     for (int chip : e.replicaChips) {
         arch::EnginePool &pool = pools[static_cast<size_t>(chip)];
-        pool.program(id, mapped, cfg.engine);
+        pool.program(id, mapped, ecfg);
         e.replicas.push_back(pool.engine(id));
     }
     e.engine = e.replicas.front();

@@ -22,6 +22,7 @@
 #include <functional>
 
 #include "arch/chip.hh"
+#include "arch/remap.hh"
 #include "compile/graph.hh"
 #include "sim/runtime.hh"
 #include "sim/stage_kernels.hh"
@@ -50,6 +51,7 @@ struct NodeExec
     std::vector<arch::CrossbarEngine *> replicas;
     std::vector<int> replicaChips;   //!< parallel to replicas
     const arch::MappedLayer *mapped = nullptr;
+    arch::RemapReport remap;   //!< spare-remap outcome (empty w/o faults)
     int outC = 0, k = 0, stride = 0, pad = 0;
     std::vector<float> bias;
     std::vector<float> chanScale;  //!< digital BN fold (may be empty)

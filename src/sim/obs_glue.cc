@@ -52,12 +52,20 @@ recordPipelineMetrics(obs::MetricsRegistry &m, const PipelineReport &r)
     m.gaugeSet("pipeline.transfer_pj", r.transferPj);
     m.gaugeSet("pipeline.overlap_saved_ns", r.overlapSavedNs);
     m.gaugeSet("pipeline.modeled_fps", r.modeledFps());
+    m.gaugeSet("pipeline.faulty_crossbars",
+               static_cast<double>(r.faultyCrossbars));
+    m.gaugeSet("pipeline.remapped_crossbars",
+               static_cast<double>(r.remappedCrossbars));
     for (const ChipReport &c : r.chips) {
         m.histObserve("chip.busy_ns", c.busyNs);
         m.histObserve("chip.utilization", c.utilization);
         m.histObserve("chip.quant_ns", c.quantNs);
         m.histObserve("chip.compute_ns", c.computeNs);
         m.histObserve("chip.transfer_in_ns", c.transferInNs);
+        m.histObserve("chip.faulty_crossbars",
+                      static_cast<double>(c.faultyCrossbars));
+        m.histObserve("chip.remapped_crossbars",
+                      static_cast<double>(c.remappedCrossbars));
     }
 }
 

@@ -136,9 +136,18 @@ PipelineRuntime::forwardRequests(const Tensor &batch, const uint64_t *ids,
             [&](size_t idx, int replica, const PhaseSample &ps) {
                 const int chip = execs_[idx].replicaChips
                     [static_cast<size_t>(replica)];
+                // Heterogeneous fleets: a chip's modeled phase times
+                // shrink by its relative throughput (and ADC rate for
+                // the conversion phase). All-default specs divide by
+                // exactly 1.0, so homogeneous timing is bit-identical
+                // to the historical model.
+                const compile::ChipSpec &spec =
+                    sched_.chipSpecs()[static_cast<size_t>(chip)];
                 PhaseInterval pi;
-                pi.quantNs = cfg_.tile.quantNs(ps.quantValues);
-                pi.computeNs = ps.adcNs;
+                pi.quantNs =
+                    cfg_.tile.quantNs(ps.quantValues) / spec.capacity;
+                pi.computeNs =
+                    ps.adcNs / (spec.capacity * spec.adcScale);
                 pi.bitCycles = ps.bitCycles;
                 pi.skippedCycles = ps.skippedCycles;
                 phases[static_cast<size_t>(chip)][static_cast<size_t>(m)]
@@ -206,13 +215,19 @@ PipelineRuntime::forwardRequests(const Tensor &batch, const uint64_t *ids,
             std::vector<double>(static_cast<size_t>(num_mb), 0.0));
         std::vector<double> xfer_pj(static_cast<size_t>(n_stages), 0.0);
         for (const compile::Transfer &t : sched_.transfers()) {
+            // A hop's wait scales with the receiving stage's primary
+            // chip's relative inbound link bandwidth; the per-byte
+            // energy does not depend on the rate.
+            const double link_in =
+                sched_.chipSpecs()[static_cast<size_t>(
+                    sched_.stageFirstChip(t.toStage))].linkIn;
             for (int m = 0; m < num_mb; ++m) {
                 const int64_t count = std::min(
                     mb, images - static_cast<int64_t>(m) * mb);
                 const int64_t bytes = t.bytesPerSample * count;
                 xfer[static_cast<size_t>(t.toStage)]
                     [static_cast<size_t>(m)] +=
-                    cfg_.link.transferNs(bytes);
+                    cfg_.link.transferNs(bytes) / link_in;
                 xfer_pj[static_cast<size_t>(t.toStage)] +=
                     cfg_.link.transferPj(bytes);
             }
@@ -259,6 +274,8 @@ PipelineRuntime::forwardRequests(const Tensor &batch, const uint64_t *ids,
                 [static_cast<size_t>(num_mb) - 1];
 
         rep->chips.clear();
+        rep->faultyCrossbars = 0;
+        rep->remappedCrossbars = 0;
         double total_busy = 0.0, total_xfer_ns = 0.0, total_xfer_pj = 0.0;
         for (int s = 0; s < n_stages; ++s) {
             const int first = sched_.stageFirstChip(s);
@@ -287,6 +304,19 @@ PipelineRuntime::forwardRequests(const Tensor &batch, const uint64_t *ids,
                     if (execs_[idx].engine && execs_[idx].chip == chip)
                         c.stats.merge(node_stats[idx]);
                 }
+                // Fault exposure of the engines this chip programs
+                // (every replica counts — each chip holds its own
+                // faulted copy).
+                for (const NodeExec &e : execs_) {
+                    for (size_t ri = 0; ri < e.replicas.size(); ++ri) {
+                        if (e.replicaChips[ri] != chip)
+                            continue;
+                        c.faultyCrossbars +=
+                            e.replicas[ri]->faultyCrossbars();
+                        c.remappedCrossbars +=
+                            e.remap.remappedCrossbars;
+                    }
+                }
                 for (int m = 0; m < num_mb; ++m) {
                     for (const PhaseInterval &p :
                          phases[static_cast<size_t>(chip)]
@@ -310,6 +340,8 @@ PipelineRuntime::forwardRequests(const Tensor &batch, const uint64_t *ids,
                 total_busy += c.busyNs;
                 total_xfer_ns += c.transferInNs;
                 total_xfer_pj += c.transferInPj;
+                rep->faultyCrossbars += c.faultyCrossbars;
+                rep->remappedCrossbars += c.remappedCrossbars;
                 rep->chips.push_back(std::move(c));
             }
         }
@@ -371,6 +403,32 @@ PipelineRuntime::emitTrace(
         tr.nameThread(pid, 1, "stage");
         tr.nameThread(pid, 2, "quant phase");
         tr.nameThread(pid, 3, "adc phase");
+    }
+
+    // Fault exposure markers: one zero-length slice at t=0 on each
+    // chip carrying programmed engines with overlaid faults, so the
+    // fleet's fault/remap coverage is visible next to the timeline it
+    // degrades.
+    if (cfg_.runtime.faults) {
+        for (int c = 0; c < n_chips; ++c) {
+            int64_t faulty = 0, remapped = 0;
+            for (const NodeExec &e : execs_) {
+                for (size_t ri = 0; ri < e.replicas.size(); ++ri) {
+                    if (e.replicaChips[ri] != c)
+                        continue;
+                    faulty += e.replicas[ri]->faultyCrossbars();
+                    remapped += e.remap.remappedCrossbars;
+                }
+            }
+            if (faulty == 0 && remapped == 0)
+                continue;
+            tr.slice(c + 1, 1, "fault-map", "fault", 0.0, 0.0,
+                     {{"chip", c},
+                      {"faulty_crossbars",
+                       static_cast<uint64_t>(faulty)},
+                      {"remapped_crossbars",
+                       static_cast<uint64_t>(remapped)}});
+        }
     }
 
     // Hosted programmed-node names per chip, in the order the

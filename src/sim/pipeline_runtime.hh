@@ -135,6 +135,16 @@ struct ChipReport
     uint64_t adcBitCycles = 0;
     uint64_t adcSkippedCycles = 0;
 
+    /**
+     * Fault exposure of this chip's programmed engines (0 without a
+     * RuntimeConfig::faults map): crossbars whose used window carries
+     * at least one overlaid fault, and crossbars the spare-remap pass
+     * rerouted off a dead column. Replicated nodes count on every
+     * hosting chip (each chip programs its own faulted replica).
+     */
+    int64_t faultyCrossbars = 0;
+    int64_t remappedCrossbars = 0;
+
     /** Presented fraction of worst-case input cycles (1 = no skip). */
     double eicFraction() const
     {
@@ -169,6 +179,10 @@ struct PipelineReport
      * intra-chip tile pipeline (0 when TilePipeline::overlap is off).
      */
     double overlapSavedNs = 0.0;
+
+    /** Fleet-wide fault exposure: sums of the per-chip counters. */
+    int64_t faultyCrossbars = 0;
+    int64_t remappedCrossbars = 0;
 
     /** Modeled pipeline throughput over this report's images. */
     double modeledFps() const

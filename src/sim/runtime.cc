@@ -58,6 +58,24 @@ InferenceRuntime::InferenceRuntime(nn::Network &net,
                                    RuntimeConfig cfg)
     : cfg_(cfg)
 {
+    // Fault identity in the straight-line runtime is the layer index;
+    // the graph runtimes use graph node ids instead, so fault studies
+    // meant to compare runtimes should go through those.
+    auto programStage = [&](Stage &stage, admm::LayerState &st,
+                            size_t layer_index, const char *name) {
+        stage.mapped = arch::mapLayer(st, cfg_.mapping);
+        arch::EngineConfig ecfg = cfg_.engine;
+        if (cfg_.faults) {
+            ecfg.faults = cfg_.faults;
+            ecfg.faultKey = static_cast<uint64_t>(layer_index);
+            if (cfg_.remapFaults)
+                arch::remapFaultyCrossbars(stage.mapped, *cfg_.faults,
+                                           ecfg.faultKey, name);
+        }
+        stage.engine = std::make_unique<arch::CrossbarEngine>(
+            stage.mapped, ecfg);
+    };
+
     for (size_t i = 0; i < net.size(); ++i) {
         nn::Layer &l = net.layer(i);
         auto stage = std::make_unique<Stage>();
@@ -70,9 +88,7 @@ InferenceRuntime::InferenceRuntime(nn::Network &net,
                       l.name().c_str());
             }
             stage->kind = Stage::Kind::Conv;
-            stage->mapped = arch::mapLayer(*st, cfg_.mapping);
-            stage->engine = std::make_unique<arch::CrossbarEngine>(
-                stage->mapped, cfg_.engine);
+            programStage(*stage, *st, i, l.name().c_str());
             stage->outC = conv->outChannels();
             stage->k = conv->kernel();
             stage->stride = conv->stride();
@@ -86,9 +102,7 @@ InferenceRuntime::InferenceRuntime(nn::Network &net,
                       l.name().c_str());
             }
             stage->kind = Stage::Kind::Dense;
-            stage->mapped = arch::mapLayer(*st, cfg_.mapping);
-            stage->engine = std::make_unique<arch::CrossbarEngine>(
-                stage->mapped, cfg_.engine);
+            programStage(*stage, *st, i, l.name().c_str());
             stage->outC = dense->outDim();
             stage->bias = tensorToVector(dense->bias());
             stage->scale = resolveStageScale(cfg_, l.name());

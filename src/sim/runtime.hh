@@ -98,6 +98,24 @@ struct RuntimeConfig
      * without it (docs/ARCHITECTURE.md determinism table).
      */
     obs::MetricsRegistry *metrics = nullptr;
+
+    /**
+     * Hard-fault model (reram/faults.hh; borrowed, may be null). The
+     * graph runtimes key each node's fault pattern by its graph node
+     * id, so GraphRuntime and PipelineRuntime — and every replica of a
+     * node — draw bit-identical faults. Faults are deterministic
+     * state, not noise: the cross-runtime determinism contracts hold
+     * under a fault map exactly as they do without one.
+     */
+    const reram::FaultMap *faults = nullptr;
+
+    /**
+     * Run the spare-crossbar remap pass (arch/remap.hh) before
+     * programming: tiles whose used cell columns land on a dead
+     * physical column are rerouted to spares budgeted by
+     * mapping.spareXbars. fatal()s when the budget runs out.
+     */
+    bool remapFaults = false;
 };
 
 /** Per-programmed-layer slice of a runtime report. */

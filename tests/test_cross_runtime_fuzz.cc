@@ -35,6 +35,7 @@
 #include "nn/layers.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "reram/faults.hh"
 #include "serve/backends.hh"
 #include "serve/server.hh"
 #include "sim/calibrator.hh"
@@ -185,6 +186,7 @@ TEST(CrossRuntimeFuzz, GraphAndPipelineRuntimesAgreeBitwise)
 {
     int residual_graphs = 0, static_graphs = 0, replicated_graphs = 0;
     int eic_graphs = 0;
+    int fault_perturbed = 0, fault_exposed = 0;
     for (int g = 0; g < kGraphs + kStemGraphs; ++g) {
         Rng rng(9000 + 13 * static_cast<uint64_t>(g));
         SCOPED_TRACE("fuzz graph " + std::to_string(g));
@@ -318,6 +320,51 @@ TEST(CrossRuntimeFuzz, GraphAndPipelineRuntimesAgreeBitwise)
                                      grep.layers[i].stats);
         }
 
+        // Fault axis: the same DAG re-programmed under a seeded fault
+        // map — stuck cells, drifted devices AND killed columns
+        // repaired from a generous spare budget — stays a pure
+        // function of (seed, faultKey, physId): GraphRuntime and
+        // PipelineRuntime must agree bitwise on logits and per-node
+        // stats, faults, remap and all (reram/faults.hh).
+        {
+            reram::FaultConfig fltc;
+            fltc.stuckLrsRate = 0.005;
+            fltc.stuckHrsRate = 0.005;
+            fltc.driftRate = 0.01;
+            fltc.columnKillRate = 0.001;
+            fltc.seed = 5000 + static_cast<uint64_t>(g);
+            reram::FaultMap fmap(fltc);
+
+            sim::RuntimeConfig fcfg = rcfg;
+            fcfg.faults = &fmap;
+            fcfg.remapFaults = true;
+            fcfg.mapping.spareXbars = 12;
+            sim::GraphRuntime fgr(graph, states, fcfg);
+            sim::RuntimeReport fgrep;
+            const Tensor fref = fgr.forward(batch, &fgrep);
+            fault_perturbed += !fref.equals(ref);
+
+            auto fsched = compile::Schedule::partition(graph, scfg);
+            sim::PipelineRuntimeConfig fpcfg = pcfg;
+            fpcfg.runtime.faults = &fmap;
+            fpcfg.runtime.remapFaults = true;
+            fpcfg.runtime.mapping.spareXbars = 12;
+            sim::PipelineRuntime fpr(graph, std::move(fsched), states,
+                                     fpcfg);
+            sim::PipelineReport fprep;
+            const Tensor fgot = fpr.forward(batch, &fprep);
+            fault_exposed += fprep.faultyCrossbars > 0;
+
+            EXPECT_TRUE(fgot.equals(fref))
+                << "faulted logits diverge: chips=" << chips
+                << " microBatch=" << micro_batch
+                << " replicated=" << replicated << "\n" << graph.dump();
+            ASSERT_EQ(fprep.nodes.layers.size(), fgrep.layers.size());
+            for (size_t i = 0; i < fgrep.layers.size(); ++i)
+                expectStatsIdentical(fprep.nodes.layers[i].stats,
+                                     fgrep.layers[i].stats);
+        }
+
         // Observer axis: the same pipeline with a trace session and a
         // metrics registry attached must produce bit-identical logits
         // and per-node stats — installing observation changes nothing
@@ -410,6 +457,10 @@ TEST(CrossRuntimeFuzz, GraphAndPipelineRuntimesAgreeBitwise)
     EXPECT_GE(static_graphs, 6);
     EXPECT_GE(replicated_graphs, 4);
     EXPECT_GE(eic_graphs, 6);
+    // The fault maps must actually bite: nearly every graph should
+    // see perturbed logits and report faulted crossbars.
+    EXPECT_GE(fault_perturbed, 20);
+    EXPECT_GE(fault_exposed, 20);
 }
 
 } // namespace

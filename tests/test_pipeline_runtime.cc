@@ -334,6 +334,66 @@ TEST(PipelineRuntime, ReportModelsAPipelineWithTransfers)
     EXPECT_LT(rep.makespanNs, total_busy + rep.transferNs);
 }
 
+TEST(PipelineRuntime, HeterogeneousSpecsMoveTimeButNeverNumbers)
+{
+    // A 2x inbound link on chip 1 halves every modeled transfer (all
+    // cut traffic lands on chip 1 in a 2-chip pipeline), and a faster
+    // chip 0 shrinks its busy time — while logits and per-node stats
+    // stay bitwise identical to the homogeneous fleet: ChipSpecs are
+    // a timing/partitioning model, never a numerics knob.
+    CompiledResNet c(141);
+    Rng rng(142);
+    Tensor batch({4, 3, 32, 32});
+    batch.fillUniform(rng, 0.0f, 1.0f);
+
+    ThreadPool pool(4);
+    compile::ScheduleConfig scfg;
+    scfg.chips = 2;
+    sim::PipelineRuntime base(c.graph,
+                              compile::Schedule::partition(c.graph, scfg),
+                              c.states, noisyConfig(&pool, 1));
+    sim::PipelineReport brep;
+    const Tensor ref = base.forward(batch, &brep);
+
+    // Fast link: uniform 2x inbound bandwidth scales transfers by
+    // exactly 1/2 and cut costs uniformly, so the partition (and the
+    // numbers) cannot move.
+    compile::ScheduleConfig link = scfg;
+    link.chipSpecs.resize(2);
+    link.chipSpecs[0].linkIn = 2.0;
+    link.chipSpecs[1].linkIn = 2.0;
+    sim::PipelineRuntime fast(c.graph,
+                              compile::Schedule::partition(c.graph, link),
+                              c.states, noisyConfig(&pool, 1));
+    sim::PipelineReport frep;
+    const Tensor fast_logits = fast.forward(batch, &frep);
+
+    EXPECT_TRUE(fast_logits.equals(ref))
+        << "link bandwidth leaked into the numerics";
+    ASSERT_EQ(frep.nodes.layers.size(), brep.nodes.layers.size());
+    for (size_t i = 0; i < brep.nodes.layers.size(); ++i)
+        expectStatsIdentical(frep.nodes.layers[i].stats,
+                             brep.nodes.layers[i].stats);
+    EXPECT_GT(brep.transferNs, 0.0);
+    EXPECT_DOUBLE_EQ(frep.transferNs, brep.transferNs / 2.0);
+    EXPECT_DOUBLE_EQ(frep.transferPj, brep.transferPj)
+        << "bandwidth must not change transfer energy";
+
+    // Fast chip 0: the partition may shift toward it, but the logits
+    // still match the homogeneous fleet bitwise.
+    compile::ScheduleConfig cap = scfg;
+    cap.chipSpecs.resize(2);
+    cap.chipSpecs[0].capacity = 2.0;
+    auto csched = compile::Schedule::partition(c.graph, cap);
+    const double work0 = csched.chipWork(0);
+    EXPECT_GT(work0, csched.chipWork(1))
+        << "the 2x chip should carry more raw work";
+    sim::PipelineRuntime hetero(c.graph, std::move(csched), c.states,
+                                noisyConfig(&pool, 1));
+    sim::PipelineReport hrep;
+    EXPECT_TRUE(hetero.forward(batch, &hrep).equals(ref));
+}
+
 TEST(PipelineRuntime, ResetPresentationStreamsReproducesNoisyRuns)
 {
     CompiledResNet c(141);

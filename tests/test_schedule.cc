@@ -469,6 +469,139 @@ TEST(EicTimeWorkModel, SparseDensitiesShiftTheCutTowardDenseNodes)
     EXPECT_EQ(c.chipOf(m.find("c3")), 1);
 }
 
+TEST(HeterogeneousChips, DefaultSpecsReproduceHomogeneousBitwise)
+{
+    // All-default ChipSpecs must be a no-op: the /1.0 normalizations
+    // and the double-valued cut cost keep the DP objective on exact
+    // integer-valued doubles, so every historical partition is pinned
+    // bit-for-bit — under every work model.
+    ResNetGraph r(81);
+    for (const auto model :
+         {compile::WorkModel::Macs, compile::WorkModel::AdcTime,
+          compile::WorkModel::EicTime}) {
+        compile::ScheduleConfig plain;
+        plain.chips = 4;
+        plain.workModel = model;
+        compile::ScheduleConfig spec = plain;
+        spec.chipSpecs.assign(4, compile::ChipSpec{});
+        const auto a = compile::Schedule::partition(r.graph, plain);
+        const auto b = compile::Schedule::partition(r.graph, spec);
+        ASSERT_EQ(a.stages(), b.stages());
+        for (int id = 0; id < r.graph.capacity(); ++id) {
+            EXPECT_EQ(a.chipOf(id), b.chipOf(id))
+                << "node " << id << " model "
+                << static_cast<int>(model);
+            EXPECT_EQ(a.stageOf(id), b.stageOf(id));
+        }
+        EXPECT_EQ(a.cutBytesPerSample(), b.cutBytesPerSample());
+        ASSERT_EQ(b.chipSpecs().size(), 4u);
+    }
+}
+
+TEST(HeterogeneousChips, CapacityFieldMatchesLegacyCapacityVector)
+{
+    auto g = reluChain(8);
+    compile::ScheduleConfig legacy;
+    legacy.chips = 2;
+    legacy.capacity = {2.0, 1.0};
+    compile::ScheduleConfig spec;
+    spec.chips = 2;
+    spec.chipSpecs.resize(2);
+    spec.chipSpecs[0].capacity = 2.0;
+    const auto a = compile::Schedule::partition(g, legacy);
+    const auto b = compile::Schedule::partition(g, spec);
+    EXPECT_EQ(a.chipNodes()[0].size(), b.chipNodes()[0].size());
+    EXPECT_EQ(b.chipNodes()[0].size(), 6u);
+    EXPECT_EQ(b.chipNodes()[1].size(), 3u);
+}
+
+TEST(HeterogeneousChips, CapacityShiftsTheBoundaryUnderEveryModel)
+{
+    auto g = reluChain(8);
+    for (const auto model :
+         {compile::WorkModel::Macs, compile::WorkModel::AdcTime,
+          compile::WorkModel::EicTime}) {
+        compile::ScheduleConfig cfg;
+        cfg.chips = 2;
+        cfg.workModel = model;
+        cfg.chipSpecs.resize(2);
+        cfg.chipSpecs[0].capacity = 2.0;
+        const auto s = compile::Schedule::partition(g, cfg);
+        EXPECT_EQ(s.chipNodes()[0].size(), 6u)
+            << "model " << static_cast<int>(model);
+        EXPECT_EQ(s.chipNodes()[1].size(), 3u);
+    }
+}
+
+TEST(HeterogeneousChips, AdcScaleShiftsTimedCutsButNotMacs)
+{
+    // Chip 0 has a 3x faster ADC. The timed models fold that into the
+    // chip's effective throughput (3 of the 4 uniform convs land on
+    // it); the device-count Macs model must ignore it and keep the
+    // balanced 2/2 split.
+    UniformConvChain n(82);
+    const int c1 = n.find("c1");
+    const int c2 = n.find("c2");
+
+    compile::ScheduleConfig cfg;
+    cfg.chips = 2;
+    cfg.chipSpecs.resize(2);
+    cfg.chipSpecs[0].adcScale = 3.0;
+
+    cfg.workModel = compile::WorkModel::Macs;
+    const auto macs = compile::Schedule::partition(n.graph, cfg);
+    EXPECT_EQ(macs.chipOf(c1), 0);
+    EXPECT_EQ(macs.chipOf(c2), 1);
+
+    for (const auto model :
+         {compile::WorkModel::AdcTime, compile::WorkModel::EicTime}) {
+        cfg.workModel = model;
+        const auto timed = compile::Schedule::partition(n.graph, cfg);
+        EXPECT_EQ(timed.chipOf(c2), 0)
+            << "model " << static_cast<int>(model)
+            << ": the fast-ADC chip should absorb the third conv";
+        EXPECT_EQ(timed.chipOf(n.find("c3")), 1);
+    }
+}
+
+TEST(HeterogeneousChips, PartitionRecordsTheResolvedSpecs)
+{
+    auto g = reluChain(8);
+    compile::ScheduleConfig cfg;
+    cfg.chips = 2;
+    cfg.chipSpecs.resize(2);
+    cfg.chipSpecs[0].capacity = 2.0;
+    cfg.chipSpecs[1].linkIn = 0.5;
+    const auto s = compile::Schedule::partition(g, cfg);
+    ASSERT_EQ(s.chipSpecs().size(), 2u);
+    EXPECT_DOUBLE_EQ(s.chipSpecs()[0].capacity, 2.0);
+    EXPECT_DOUBLE_EQ(s.chipSpecs()[1].linkIn, 0.5);
+
+    // Legacy capacity vectors surface through the same accessor.
+    compile::ScheduleConfig legacy;
+    legacy.chips = 2;
+    legacy.capacity = {2.0, 1.0};
+    const auto l = compile::Schedule::partition(g, legacy);
+    ASSERT_EQ(l.chipSpecs().size(), 2u);
+    EXPECT_DOUBLE_EQ(l.chipSpecs()[0].capacity, 2.0);
+    EXPECT_DOUBLE_EQ(l.chipSpecs()[1].capacity, 1.0);
+}
+
+TEST(HeterogeneousChips, MalformedSpecsDie)
+{
+    auto g = reluChain(8);
+    compile::ScheduleConfig wrong_count;
+    wrong_count.chips = 2;
+    wrong_count.chipSpecs.resize(3);
+    EXPECT_DEATH(compile::Schedule::partition(g, wrong_count), "");
+
+    compile::ScheduleConfig bad_value;
+    bad_value.chips = 2;
+    bad_value.chipSpecs.resize(2);
+    bad_value.chipSpecs[1].linkIn = 0.0;
+    EXPECT_DEATH(compile::Schedule::partition(g, bad_value), "");
+}
+
 TEST(Schedule, ReplicatedPartitionIsDeterministic)
 {
     ResNetGraph r(44);

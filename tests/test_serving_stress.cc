@@ -20,7 +20,11 @@
 #include <thread>
 #include <vector>
 
+#include "compile/passes.hh"
+#include "nn/layers.hh"
+#include "serve/backends.hh"
 #include "serve/server.hh"
+#include "sim/graph_runtime.hh"
 
 namespace forms {
 namespace {
@@ -188,6 +192,220 @@ TEST(ServingStress, DestructorDrainsPendingWork)
         EXPECT_EQ(r.status, serve::Status::Ok);
         EXPECT_EQ(r.logits.data()[0], static_cast<float>(i));
     }
+}
+
+/** Throws ChipFailure on the first `failures` batches, then echoes. */
+class FlakyBackend : public EchoBackend
+{
+  public:
+    explicit FlakyBackend(int failures) : failures_(failures) {}
+
+    Tensor run(const Tensor &batch, const uint64_t *ids,
+               std::vector<sim::RuntimeReport> &per) override
+    {
+        if (failures_.fetch_sub(1) > 0)
+            throw serve::ChipFailure(0);
+        return EchoBackend::run(batch, ids, per);
+    }
+
+  private:
+    std::atomic<int> failures_;
+};
+
+TEST(ServingStress, ChipFailureRequeuesWithoutLossOrDuplication)
+{
+    // The first 2 batches die with a chip; every request must still
+    // resolve exactly once, Ok, in its original identity — and at
+    // least the head of the queue has visibly survived requeues.
+    FlakyBackend backend(2);
+    serve::ServerConfig sc;
+    sc.maxBatch = 4;
+    sc.maxDelayUs = 200;
+    sc.queueCapacity = 0;
+    sc.maxRequeues = 3;
+    serve::Server server(backend, sc);
+
+    constexpr int kRequests = 24;
+    std::vector<std::future<serve::Response>> futs;
+    for (int i = 0; i < kRequests; ++i)
+        futs.push_back(server.submit(Tensor({2}, 0.0f),
+                                     static_cast<uint64_t>(i)));
+
+    std::set<uint64_t> seen;
+    int requeued_ok = 0;
+    for (int i = 0; i < kRequests; ++i) {
+        serve::Response r = futs[static_cast<size_t>(i)].get();
+        ASSERT_EQ(r.status, serve::Status::Ok) << "id " << i;
+        EXPECT_EQ(r.requestId, static_cast<uint64_t>(i));
+        EXPECT_EQ(r.logits.data()[0], static_cast<float>(i));
+        EXPECT_TRUE(seen.insert(r.requestId).second)
+            << "duplicate response for id " << i;
+        requeued_ok += r.requeues > 0;
+    }
+    EXPECT_EQ(seen.size(), static_cast<size_t>(kRequests));
+    EXPECT_GT(requeued_ok, 0)
+        << "two thrown batches left no visible requeue";
+}
+
+TEST(ServingStress, RequeueBudgetExhaustionIsTypedNotSilent)
+{
+    // A backend that always throws: every request burns its full
+    // retry budget and resolves with Status::Requeued — never hangs,
+    // never resolves twice.
+    FlakyBackend backend(1 << 20);
+    serve::ServerConfig sc;
+    sc.maxBatch = 2;
+    sc.maxDelayUs = 100;
+    sc.maxRequeues = 2;
+    serve::Server server(backend, sc);
+
+    std::vector<std::future<serve::Response>> futs;
+    for (int i = 0; i < 6; ++i)
+        futs.push_back(server.submit(Tensor({2}, 0.0f),
+                                     static_cast<uint64_t>(i)));
+    for (int i = 0; i < 6; ++i) {
+        serve::Response r = futs[static_cast<size_t>(i)].get();
+        EXPECT_EQ(r.status, serve::Status::Requeued) << "id " << i;
+        EXPECT_EQ(r.requestId, static_cast<uint64_t>(i));
+        EXPECT_EQ(r.requeues, sc.maxRequeues);
+    }
+    EXPECT_EQ(backend.served.load(), 0u);
+}
+
+/** Small compiled conv net shared by the failover fleet tests. */
+struct CompiledSmallNet
+{
+    std::unique_ptr<nn::Network> net;
+    compile::Graph graph;
+    std::vector<admm::LayerState> states;
+
+    explicit CompiledSmallNet(uint64_t seed)
+    {
+        Rng rng(seed);
+        net = std::make_unique<nn::Network>();
+        net->emplace<nn::Conv2D>("stem", 3, 8, 3, 1, 1, rng);
+        net->emplace<nn::ReLU>("relu0");
+        net->emplace<nn::MaxPool2D>("pool", 2, 2);
+        net->emplace<nn::Conv2D>("mid", 8, 4, 3, 1, 1, rng);
+        net->emplace<nn::ReLU>("relu1");
+        net->emplace<nn::Flatten>("flat");
+        net->emplace<nn::Dense>("fc", 4 * 6 * 6, 3, rng);
+        graph = compile::lowerNetwork(*net);
+        graph.inferShapes({3, 12, 12});
+        states = sim::snapshotCompress(*net, 8, 8);
+    }
+};
+
+/** ADC quantization + device variation + read noise all on. */
+sim::RuntimeConfig
+noisyConfig(ThreadPool *pool)
+{
+    sim::RuntimeConfig cfg;
+    cfg.mapping.xbarRows = 64;
+    cfg.mapping.xbarCols = 64;
+    cfg.mapping.fragSize = 8;
+    cfg.mapping.inputBits = 8;
+    cfg.engine.adcBits = 3;
+    cfg.engine.cell.variationSigma = 0.1;
+    cfg.engine.readNoiseSigma = 0.02;
+    cfg.pool = pool;
+    return cfg;
+}
+
+TEST(ServingStress, ChipDeathMidStormFailsOverBitExactly)
+{
+    // A 3-chip FailoverBackend loses chip 1 between two request
+    // waves. Every request of both waves must resolve Ok exactly
+    // once, and every served logits row must memcmp-equal the
+    // request-keyed offline reference — the survivors' re-partitioned
+    // fleet serves the same bits the full fleet would have
+    // (docs/SERVING.md + serve/backends.hh).
+    CompiledSmallNet c(501);
+    Rng rng(502);
+    constexpr int kWave = 8, kWaves = 2;
+    Tensor all({kWave * kWaves, 3, 12, 12});
+    all.fillUniform(rng, 0.0f, 1.0f);
+
+    // Request-keyed offline reference on a single-chip GraphRuntime:
+    // the serving contract makes fleet size and batching invisible.
+    ThreadPool ref_pool(4);
+    sim::GraphRuntime ref_rt(c.graph, c.states, noisyConfig(&ref_pool));
+    std::vector<uint64_t> ids(kWave * kWaves);
+    for (size_t i = 0; i < ids.size(); ++i)
+        ids[i] = static_cast<uint64_t>(i);
+    const Tensor ref = ref_rt.forwardRequests(all, ids.data(), nullptr);
+    const int64_t elems = all.numel() / all.dim(0);
+    const int64_t out_elems = ref.numel() / ref.dim(0);
+
+    ThreadPool pool(4);
+    sim::PipelineRuntimeConfig pcfg;
+    pcfg.runtime = noisyConfig(&pool);
+    pcfg.microBatch = 2;
+    compile::ScheduleConfig scfg;
+    scfg.chips = 3;
+    serve::FailoverBackend backend(c.graph, c.states, pcfg, scfg);
+    ASSERT_EQ(backend.fleetChips(), 3);
+
+    serve::ServerConfig sc;
+    sc.maxBatch = 4;
+    sc.maxDelayUs = 200;
+    sc.queueCapacity = 0;
+    serve::Server server(backend, sc);
+
+    auto submit_wave = [&](int wave) {
+        std::vector<std::future<serve::Response>> futs;
+        Shape sample_shape(all.shape().begin() + 1, all.shape().end());
+        for (int i = wave * kWave; i < (wave + 1) * kWave; ++i) {
+            Tensor img(sample_shape);
+            std::memcpy(img.data(), all.data() + i * elems,
+                        static_cast<size_t>(elems) * sizeof(float));
+            futs.push_back(
+                server.submit(std::move(img), static_cast<uint64_t>(i)));
+        }
+        return futs;
+    };
+    auto check_wave = [&](std::vector<std::future<serve::Response>> futs,
+                          int wave, int *requeued) {
+        for (int i = 0; i < kWave; ++i) {
+            const int id = wave * kWave + i;
+            serve::Response r = futs[static_cast<size_t>(i)].get();
+            ASSERT_EQ(r.status, serve::Status::Ok) << "id " << id;
+            EXPECT_EQ(r.requestId, static_cast<uint64_t>(id));
+            ASSERT_EQ(r.logits.numel(), out_elems);
+            EXPECT_EQ(0,
+                      std::memcmp(r.logits.data(),
+                                  ref.data() + id * out_elems,
+                                  static_cast<size_t>(out_elems) *
+                                      sizeof(float)))
+                << "served logits diverge from the offline reference "
+                   "for id " << id;
+            if (requeued)
+                *requeued += r.requeues > 0;
+        }
+    };
+
+    check_wave(submit_wave(0), 0, nullptr);
+
+    // The kill lands while the queue is empty, so the first wave-2
+    // batch deterministically observes it, dies, and is requeued onto
+    // the surviving 2-chip fleet.
+    backend.killChip(1);
+    int requeued = 0;
+    check_wave(submit_wave(1), 1, &requeued);
+    EXPECT_EQ(backend.failovers(), 1);
+    EXPECT_EQ(backend.aliveChips(), 2);
+    EXPECT_GT(requeued, 0) << "no wave-2 request saw the failover";
+
+    // Killing the rest exhausts the fleet: further requests burn
+    // their budget and resolve with the typed Status::Requeued.
+    backend.killChip(0);
+    backend.killChip(2);
+    auto last = submit_wave(0);
+    for (auto &f : last) {
+        serve::Response r = f.get();
+        EXPECT_EQ(r.status, serve::Status::Requeued);
+    }
+    EXPECT_EQ(backend.aliveChips(), 0);
 }
 
 } // namespace
